@@ -1,0 +1,88 @@
+// Command datagen writes the evaluation datasets to disk as TSV: the
+// address table of §7.1.1 (id \t address_string) or the TPC-H Q13 subset
+// (customer.tsv, orders.tsv).
+//
+// Usage:
+//
+//	datagen -kind address -rows 2500000 -selectivity 0.2 -hit q2 -out addresses.tsv
+//	datagen -kind tpch -sf 0.1 -outdir tpch/
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"doppiodb/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "address", "dataset: address or tpch")
+		rows   = flag.Int("rows", 100_000, "address rows")
+		sel    = flag.Float64("selectivity", 0.2, "hit selectivity")
+		hit    = flag.String("hit", "q2", "hit kind: q1 q2 q3 q4 qh table1")
+		strLen = flag.Int("strlen", workload.DefaultStrLen, "address string length")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "addresses.tsv", "output file (address)")
+		sf     = flag.Float64("sf", 0.1, "TPC-H scale factor")
+		outdir = flag.String("outdir", ".", "output directory (tpch)")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "address":
+		kinds := map[string]workload.HitKind{
+			"q1": workload.HitQ1, "q2": workload.HitQ2, "q3": workload.HitQ3,
+			"q4": workload.HitQ4, "qh": workload.HitQH, "table1": workload.HitTable1,
+			"none": workload.HitNone,
+		}
+		hk, ok := kinds[*hit]
+		if !ok {
+			fatal(fmt.Errorf("unknown hit kind %q", *hit))
+		}
+		g := workload.NewGenerator(*seed, *strLen)
+		data, hits := g.Table(*rows, hk, *sel)
+		f, err := os.Create(*out)
+		fatal(err)
+		w := bufio.NewWriter(f)
+		for i, r := range data {
+			fmt.Fprintln(w, workload.FormatRow(i, r))
+		}
+		fatal(w.Flush())
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %d rows (%d hits, selectivity %.3f) to %s\n",
+			len(data), hits, float64(hits)/float64(len(data)), *out)
+	case "tpch":
+		tp := workload.GenerateTPCH(*seed, *sf, 0.01)
+		cf, err := os.Create(filepath.Join(*outdir, "customer.tsv"))
+		fatal(err)
+		cw := bufio.NewWriter(cf)
+		for _, c := range tp.Customers {
+			fmt.Fprintf(cw, "%d\n", c.CustKey)
+		}
+		fatal(cw.Flush())
+		fatal(cf.Close())
+		of, err := os.Create(filepath.Join(*outdir, "orders.tsv"))
+		fatal(err)
+		ow := bufio.NewWriter(of)
+		for _, o := range tp.Orders {
+			fmt.Fprintf(ow, "%d\t%d\t%s\n", o.OrderKey, o.CustKey, o.Comment)
+		}
+		fatal(ow.Flush())
+		fatal(of.Close())
+		fmt.Fprintf(os.Stderr, "wrote %d customers, %d orders (SF %.2f) to %s\n",
+			len(tp.Customers), len(tp.Orders), *sf, *outdir)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// Command doppiobench regenerates every table and figure of the paper's
+// evaluation and prints them next to the published values.
+//
+// Usage:
+//
+//	doppiobench [-experiment all|table1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15]
+//	            [-sample N] [-seed S] [-selectivity F]
+//
+// -sample sets how many rows the functional engines execute per
+// measurement (work is extrapolated to the paper's row counts); larger
+// samples tighten the work estimates at the cost of runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"doppiodb/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment to run (all, table1, fig8..fig15)")
+		sampl = flag.Int("sample", experiments.DefaultSampleRows, "functional sample rows")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		sel   = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
+	)
+	flag.Parse()
+	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel}
+
+	type exp struct {
+		name string
+		run  func() error
+	}
+	out := os.Stdout
+	all := []exp{
+		{"table1", func() error { r, err := experiments.Table1(cfg); render(r, err, out); return err }},
+		{"fig8", func() error { r, err := experiments.Figure8(cfg); render(r, err, out); return err }},
+		{"fig9", func() error { r, err := experiments.Figure9(cfg); render(r, err, out); return err }},
+		{"fig10", func() error { r, err := experiments.Figure10(cfg); render(r, err, out); return err }},
+		{"fig11", func() error { r, err := experiments.Figure11(cfg); render(r, err, out); return err }},
+		{"fig12", func() error { r, err := experiments.Figure12(cfg); render(r, err, out); return err }},
+		{"fig13", func() error { r, err := experiments.Figure13(cfg); render(r, err, out); return err }},
+		{"fig14", func() error {
+			a, err := experiments.Figure14a(cfg)
+			render(a, err, out)
+			if err != nil {
+				return err
+			}
+			b, err := experiments.Figure14b(cfg)
+			render(b, err, out)
+			if err != nil {
+				return err
+			}
+			c, err := experiments.Figure14c(cfg)
+			render(c, err, out)
+			return err
+		}},
+		{"fig15", func() error { r, err := experiments.Figure15(cfg); render(r, err, out); return err }},
+		{"platform", func() error { r, err := experiments.Platform(cfg); render(r, err, out); return err }},
+		{"nextgen", func() error { r, err := experiments.NextGen(cfg); render(r, err, out); return err }},
+		{"ablations", func() error {
+			if r, err := experiments.AblationGapHold(cfg); err != nil {
+				return err
+			} else {
+				render(r, err, out)
+			}
+			if r, err := experiments.AblationArbiter(cfg); err != nil {
+				return err
+			} else {
+				render(r, err, out)
+			}
+			if r, err := experiments.AblationEngineConfig(cfg); err != nil {
+				return err
+			} else {
+				render(r, err, out)
+			}
+			if r, err := experiments.AblationSoftEngines(cfg); err != nil {
+				return err
+			} else {
+				render(r, err, out)
+			}
+			if r, err := experiments.AblationSubstring(cfg); err != nil {
+				return err
+			} else {
+				render(r, err, out)
+			}
+			r, err := experiments.AblationPrescan(cfg)
+			render(r, err, out)
+			return err
+		}},
+	}
+
+	ran := false
+	for _, e := range all {
+		if *which != "all" && !strings.EqualFold(*which, e.name) {
+			continue
+		}
+		ran = true
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "doppiobench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func render(r any, err error, out io.Writer) {
+	if err != nil {
+		return
+	}
+	if v, ok := r.(interface{ Render(io.Writer) }); ok {
+		v.Render(out)
+	}
+}

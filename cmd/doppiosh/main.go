@@ -1,0 +1,203 @@
+// Command doppiosh is an interactive SQL shell over the simulated doppioDB
+// system: it boots the platform, optionally loads a dataset, and executes
+// SELECT statements — including the hardware operator REGEXP_FPGA — printing
+// result tables and per-query accounting.
+//
+// Usage:
+//
+//	doppiosh [-rows N] [-selectivity F] [-tpch SF] [-auto] [-e 'stmt;...']
+//
+// Without -e it reads statements (terminated by `;`) from stdin. -rows
+// preloads `address_table` with the paper's workload; -tpch additionally
+// loads `customer` and `orders`. -auto enables the §9 cost-based optimizer
+// that transparently offloads REGEXP_LIKE to the FPGA when predicted faster.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"doppiodb/internal/core"
+	"doppiodb/internal/mdb"
+	"doppiodb/internal/sql"
+	"doppiodb/internal/workload"
+)
+
+func main() {
+	var (
+		rows = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
+		sel  = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
+		tpch = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
+		auto = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
+		eval = flag.String("e", "", "execute these statements and exit")
+	)
+	flag.Parse()
+
+	sys, err := core.NewSystem(core.Options{RegionBytes: 2 << 30})
+	fatal(err)
+	if *rows > 0 {
+		data, hits := workload.NewGenerator(1, workload.DefaultStrLen).
+			Table(*rows, workload.HitQ2, *sel)
+		_, err := sys.DB.LoadAddressTable("address_table", data)
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "loaded address_table: %d rows (%d Q2 hits)\n", len(data), hits)
+	}
+	if *tpch > 0 {
+		loadTPCH(sys.DB, *tpch)
+	}
+	engine := sql.NewEngine(sys.DB)
+	if *auto {
+		engine.Advisor = sys
+		fmt.Fprintln(os.Stderr, "cost-based hardware offload enabled")
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", sys.Device)
+
+	if *eval != "" {
+		for _, stmt := range splitStatements(*eval) {
+			run(engine, stmt)
+		}
+		return
+	}
+	fmt.Fprintln(os.Stderr, `doppiosh — end statements with ';', exit with \q`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Fprint(os.Stderr, "doppiodb> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			for _, stmt := range splitStatements(buf.String()) {
+				run(engine, stmt)
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// splitStatements splits on `;` outside string literals.
+func splitStatements(src string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case c == ';' && !inStr:
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func run(engine *sql.Engine, stmt string) {
+	start := time.Now()
+	res, err := engine.Query(stmt)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	printTable(res)
+	note := ""
+	if res.FastPath != "" {
+		note = " via " + res.FastPath
+	}
+	if res.UDF != nil {
+		note += fmt.Sprintf(", FPGA %.3f ms simulated", res.UDF.HWSeconds*1e3)
+	}
+	fmt.Fprintf(os.Stderr, "%d row(s) in %v%s\n\n", len(res.Rows), elapsed.Round(time.Microsecond), note)
+}
+
+// printTable renders a result set with column-width alignment, capping very
+// long outputs.
+func printTable(res *sql.Result) {
+	const maxRows = 50
+	widths := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, 0, len(res.Rows))
+	for r, row := range res.Rows {
+		if r >= maxRows {
+			break
+		}
+		line := make([]string, len(row))
+		for i, v := range row {
+			s := "NULL"
+			if v != nil {
+				s = fmt.Sprint(v)
+			}
+			line[i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+		cells = append(cells, line)
+	}
+	for i, c := range res.Cols {
+		fmt.Printf("%-*s  ", widths[i], c)
+		_ = i
+	}
+	fmt.Println()
+	for i := range res.Cols {
+		fmt.Printf("%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Println()
+	for _, line := range cells {
+		for i, s := range line {
+			fmt.Printf("%-*s  ", widths[i], s)
+		}
+		fmt.Println()
+	}
+	if len(res.Rows) > maxRows {
+		fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+	}
+}
+
+func loadTPCH(db *mdb.DB, sf float64) {
+	tp := workload.GenerateTPCH(7, sf, 0.01)
+	cust, err := db.CreateTable("customer", mdb.ColSpec{Name: "c_custkey", Kind: mdb.KindInt})
+	fatal(err)
+	for _, c := range tp.Customers {
+		fatal(cust.AppendRow(c.CustKey))
+	}
+	ord, err := db.CreateTable("orders",
+		mdb.ColSpec{Name: "o_orderkey", Kind: mdb.KindInt},
+		mdb.ColSpec{Name: "o_custkey", Kind: mdb.KindInt},
+		mdb.ColSpec{Name: "o_comment", Kind: mdb.KindString})
+	fatal(err)
+	for _, o := range tp.Orders {
+		fatal(ord.AppendRow(o.OrderKey, o.CustKey, o.Comment))
+	}
+	fmt.Fprintf(os.Stderr, "loaded TPC-H SF %.2f: %d customers, %d orders\n",
+		sf, len(tp.Customers), len(tp.Orders))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doppiosh: %v\n", err)
+		os.Exit(1)
+	}
+}

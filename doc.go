@@ -1,0 +1,22 @@
+// Package doppiodb is a from-scratch Go reproduction of "Accelerating
+// Pattern Matching Queries in Hybrid CPU-FPGA Architectures" (Sidler,
+// István, Owaida, Alonso — SIGMOD 2017): MonetDB extended with a Hardware
+// User Defined Function that offloads LIKE and REGEXP_LIKE predicates to
+// runtime-parameterizable regex engines on the FPGA of an Intel Xeon+FPGA
+// machine.
+//
+// The physical platform is simulated (see DESIGN.md for the substitution
+// inventory); everything else — the token-NFA compiler, the configuration
+// vector format, the Processing Unit semantics, the HAL, the column store,
+// the software baselines, the SQL front end, and the full evaluation
+// harness — is implemented and tested in the internal packages. Entry
+// points:
+//
+//   - internal/core: the assembled system (NewSystem) and the HUDF.
+//   - internal/sql: SQL over the column store, including REGEXP_FPGA.
+//   - cmd/doppiobench: regenerates every table and figure of the paper.
+//   - examples/: five runnable scenarios, starting with quickstart.
+//
+// The top-level benchmarks in bench_test.go regenerate each experiment
+// under `go test -bench`.
+package doppiodb

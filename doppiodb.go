@@ -1,0 +1,196 @@
+package doppiodb
+
+import (
+	"doppiodb/internal/config"
+	"doppiodb/internal/core"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/mdb"
+	"doppiodb/internal/sql"
+	"doppiodb/internal/token"
+)
+
+// This file is the library's public face: a thin, stable facade over the
+// internal packages, so downstream users can open a database on the
+// simulated hybrid machine, run SQL (including the hardware operator), and
+// use the runtime-parameterizable matcher standalone.
+
+// Options configure Open.
+type Options struct {
+	// Engines and PUsPerEngine select the FPGA deployment (0: the
+	// paper's defaults, 4 engines × 16 PUs).
+	Engines, PUsPerEngine int
+	// MaxStates and MaxChars bound the expressions one configuration
+	// vector can carry (0: 16 states / 32 character matchers).
+	MaxStates, MaxChars int
+	// SharedMemoryBytes sizes the pinned CPU-FPGA region (0: 4 GB, the
+	// prototype's limit).
+	SharedMemoryBytes uint64
+	// CostBasedOffload enables the §9 optimizer: plain REGEXP_LIKE
+	// predicates are transparently routed to the FPGA when the cost
+	// model predicts a win.
+	CostBasedOffload bool
+}
+
+// DB is an open doppioDB instance: a column store attached to the simulated
+// Xeon+FPGA platform with the REGEXP_FPGA hardware operator registered.
+type DB struct {
+	sys    *core.System
+	engine *sql.Engine
+}
+
+// Open boots the platform (programs the FPGA deployment, maps the shared
+// region, starts the HAL) and returns a ready database.
+func Open(opts Options) (*DB, error) {
+	dep := fpga.DefaultDeployment()
+	if opts.Engines > 0 {
+		dep.Engines = opts.Engines
+	}
+	if opts.PUsPerEngine > 0 {
+		dep.PUsPerEngine = opts.PUsPerEngine
+	}
+	if opts.MaxStates > 0 {
+		dep.Limits.MaxStates = opts.MaxStates
+	}
+	if opts.MaxChars > 0 {
+		dep.Limits.MaxChars = opts.MaxChars
+	}
+	sys, err := core.NewSystem(core.Options{
+		Deployment:  &dep,
+		RegionBytes: opts.SharedMemoryBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine := sql.NewEngine(sys.DB)
+	if opts.CostBasedOffload {
+		engine.Advisor = sys
+	}
+	return &DB{sys: sys, engine: engine}, nil
+}
+
+// Result is a query result. Values are int64, string, or nil.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Offloaded reports that the query (or part of it) ran on the
+	// FPGA's regex engines; HWSeconds is the simulated hardware time.
+	Offloaded bool
+	HWSeconds float64
+}
+
+// Query executes one SELECT statement. The dialect covers the paper's
+// workloads: predicates LIKE / ILIKE / REGEXP_LIKE / CONTAINS /
+// REGEXP_FPGA, joins (inner and left outer), GROUP BY with
+// COUNT/SUM/MIN/MAX/AVG, HAVING, ORDER BY, LIMIT, and derived tables.
+func (db *DB) Query(statement string) (*Result, error) {
+	res, err := db.engine.Query(statement)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: res.Cols, Rows: res.Rows}
+	if res.UDF != nil {
+		out.Offloaded = true
+		out.HWSeconds = res.UDF.HWSeconds
+	}
+	return out, nil
+}
+
+// ColumnType declares a column for CreateTable.
+type ColumnType int
+
+// Column types.
+const (
+	Int ColumnType = iota
+	String
+)
+
+// Column pairs a name with a type.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// CreateTable creates an empty table whose BATs live in the CPU-FPGA
+// shared region.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	specs := make([]mdb.ColSpec, len(cols))
+	for i, c := range cols {
+		k := mdb.KindInt
+		if c.Type == String {
+			k = mdb.KindString
+		}
+		specs[i] = mdb.ColSpec{Name: c.Name, Kind: k}
+	}
+	_, err := db.sys.DB.CreateTable(name, specs...)
+	return err
+}
+
+// Insert appends one row to a table. Values must match the column types
+// (int/int32 for Int, string for String).
+func (db *DB) Insert(table string, values ...any) error {
+	tbl, err := db.sys.DB.Table(table)
+	if err != nil {
+		return err
+	}
+	return tbl.AppendRow(values...)
+}
+
+// LoadStringTable bulk-creates the two-column (id INT, <col> VARCHAR)
+// layout the paper's address table uses.
+func (db *DB) LoadStringTable(table string, rows []string) error {
+	_, err := db.sys.DB.LoadAddressTable(table, rows)
+	return err
+}
+
+// Device returns a one-line description of the programmed FPGA (engines,
+// PUs, expression capacity, resource usage).
+func (db *DB) Device() string { return db.sys.Device.String() }
+
+// EstimateOffload exposes the §9 cost function: predicted hardware and
+// software response times for evaluating pattern over rows strings of
+// avgLen bytes, and which placement the optimizer would choose ("fpga",
+// "hybrid", or "software").
+func (db *DB) EstimateOffload(pattern string, rows, avgLen int) (placement string, hwSeconds, swSeconds float64, err error) {
+	est, err := db.sys.EstimateCost(pattern, rows, avgLen, db.sys.QueuedBytes())
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return est.Placement.String(), est.HWTime.Seconds(), est.SWTime.Seconds(), nil
+}
+
+// Matcher is a standalone runtime-parameterizable matcher: the same
+// token-NFA a Processing Unit executes, usable without a database around
+// it.
+type Matcher struct {
+	prog *token.Program
+	// States and Chars are the expression's demand on the deployed
+	// circuit (one state per token plus the end state; a range costs
+	// two coupled character matchers).
+	States, Chars int
+	// FitsDefaultDevice reports whether the expression maps onto the
+	// default 16-state / 32-character deployment.
+	FitsDefaultDevice bool
+}
+
+// CompilePattern compiles a pattern of the paper's dialect (literals,
+// classes, ranges, `.`, `* + ? {m,n}`, alternation, grouping, `^ $`) into
+// a matcher. foldCase selects the case-insensitive collation.
+func CompilePattern(pattern string, foldCase bool) (*Matcher, error) {
+	prog, err := token.CompilePattern(pattern, token.Options{FoldCase: foldCase})
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher{
+		prog:              prog,
+		States:            prog.NumStates(),
+		Chars:             prog.NumChars(),
+		FitsDefaultDevice: config.Fits(prog, config.DefaultLimits) == nil,
+	}, nil
+}
+
+// Match returns the HUDF result encoding for s: 0 for no match, else the
+// 1-based position of the first match's last character.
+func (m *Matcher) Match(s string) int { return m.prog.MatchString(s) }
+
+// Matches reports whether s matches.
+func (m *Matcher) Matches(s string) bool { return m.prog.MatchString(s) != 0 }

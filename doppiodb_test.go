@@ -1,0 +1,122 @@
+package doppiodb_test
+
+import (
+	"testing"
+
+	"doppiodb"
+	"doppiodb/internal/workload"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db, err := doppiodb.Open(doppiodb.Options{SharedMemoryBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, hits := workload.NewGenerator(1, 64).Table(20_000, workload.HitQ2, 0.2)
+	if err := db.LoadStringTable("address_table", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT count(*) FROM address_table
+		WHERE REGEXP_FPGA('(Strasse|Str\.).*(8[0-9]{4})', address_string) <> 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Rows[0][0].(int64)) != hits {
+		t.Errorf("count = %v, want %d", res.Rows[0][0], hits)
+	}
+	if !res.Offloaded || res.HWSeconds <= 0 {
+		t.Errorf("offload accounting missing: %+v", res)
+	}
+	if db.Device() == "" {
+		t.Error("empty device description")
+	}
+}
+
+func TestPublicAPICreateInsertQuery(t *testing.T) {
+	db, err := doppiodb.Open(doppiodb.Options{SharedMemoryBytes: 512 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("orders",
+		doppiodb.Column{Name: "id", Type: doppiodb.Int},
+		doppiodb.Column{Name: "note", Type: doppiodb.String}); err != nil {
+		t.Fatal(err)
+	}
+	notes := []string{"urgent delivery", "standard", "express delivery", "hold"}
+	for i, n := range notes {
+		if err := db.Insert("orders", i, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`SELECT id FROM orders WHERE note LIKE '%delivery%' ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].(int64) != 0 || res.Rows[1][0].(int64) != 2 {
+		t.Errorf("rows: %v", res.Rows)
+	}
+	if err := db.Insert("missing", 1); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+}
+
+func TestPublicAPICostBasedOffload(t *testing.T) {
+	db, err := doppiodb.Open(doppiodb.Options{
+		SharedMemoryBytes: 1 << 30,
+		CostBasedOffload:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := workload.NewGenerator(2, 64).Table(20_000, workload.HitQ3, 0.2)
+	if err := db.LoadStringTable("address_table", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT count(*) FROM address_table
+		WHERE REGEXP_LIKE(address_string, '[0-9]+(USD|EUR|GBP)')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Offloaded {
+		t.Error("cost-based offload did not engage for a complex scan")
+	}
+	placement, hw, sw, err := db.EstimateOffload(workload.Q2, 2_500_000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement != "fpga" || hw <= 0 || sw <= hw {
+		t.Errorf("estimate: %s hw=%g sw=%g", placement, hw, sw)
+	}
+}
+
+func TestPublicMatcher(t *testing.T) {
+	m, err := doppiodb.CompilePattern(`(Strasse|Str\.).*(8[0-9]{4})`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.FitsDefaultDevice || m.States != 4 || m.Chars != 20 {
+		t.Errorf("matcher metadata: %+v", m)
+	}
+	if got := m.Match("Haupt Strasse 81000"); got != 19 {
+		t.Errorf("Match = %d, want 19", got)
+	}
+	if m.Matches("Lindenweg 50000") {
+		t.Error("false positive")
+	}
+	folded, err := doppiodb.CompilePattern(`strasse`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !folded.Matches("KOBLENZER STRASSE") {
+		t.Error("collation matcher failed")
+	}
+	if _, err := doppiodb.CompilePattern(`(`, false); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestPublicAPIBadDeployment(t *testing.T) {
+	if _, err := doppiodb.Open(doppiodb.Options{Engines: 5}); err == nil {
+		t.Error("5-engine deployment should fail routing")
+	}
+}

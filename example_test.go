@@ -1,0 +1,63 @@
+package doppiodb_test
+
+import (
+	"fmt"
+	"log"
+
+	"doppiodb"
+)
+
+// ExampleOpen boots the simulated hybrid machine, loads a few rows, and
+// runs the hardware regex operator through SQL.
+func ExampleOpen() {
+	db, err := doppiodb.Open(doppiodb.Options{SharedMemoryBytes: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := []string{
+		"John|Smith|44 Koblenzer Strasse|80327|Frankfurt",
+		"Anna|Miller|9 Lindenweg|60331|Muenchen",
+		"Hans|Maier|3 Str. 81000|Zuerich",
+	}
+	if err := db.LoadStringTable("address_table", rows); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`SELECT count(*) FROM address_table
+		WHERE REGEXP_FPGA('(Strasse|Str\.).*(8[0-9]{4})', address_string) <> 0`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:", res.Rows[0][0], "offloaded:", res.Offloaded)
+	// Output: matches: 2 offloaded: true
+}
+
+// ExampleCompilePattern uses the runtime-parameterizable matcher standalone
+// — the same automaton a Processing Unit executes.
+func ExampleCompilePattern() {
+	m, err := doppiodb.CompilePattern(`[0-9]+(USD|EUR|GBP)`, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Match("invoice 250EUR due")) // position of the match's last character
+	fmt.Println(m.Match("invoice EUR due"))    // 0: no match
+	fmt.Println(m.States, m.Chars, m.FitsDefaultDevice)
+	// Output:
+	// 14
+	// 0
+	// 5 11 true
+}
+
+// ExampleDB_EstimateOffload shows the §9 cost function the query optimizer
+// uses to place an operator.
+func ExampleDB_EstimateOffload() {
+	db, err := doppiodb.Open(doppiodb.Options{SharedMemoryBytes: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, _, _, err := db.EstimateOffload(`(Strasse|Str\.).*(8[0-9]{4})`, 2_500_000, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(placement)
+	// Output: fpga
+}

@@ -1,0 +1,3 @@
+module doppiodb
+
+go 1.22

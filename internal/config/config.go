@@ -1,0 +1,240 @@
+// Package config encodes a compiled token automaton into the configuration
+// vector that parametrizes a Processing Unit at runtime (§6.1): the Tokens
+// (character matcher registers), Triggers (token→state mapping), and State
+// Transitions (the fully connected state graph's enable bits), plus the
+// coupling flags that pair matchers into ranges and the collation flags.
+//
+// The vector is a sequence of 512-bit (64-byte) memory words — the QPI
+// cache-line granularity — written to the job-parameter block in shared
+// memory and loaded by the HAL hardware module in ~300 ns (§7.4). Encoding
+// fails when the expression exceeds the deployed circuit's character or
+// state budget, which is the trigger for hybrid execution (§7.8).
+package config
+
+import (
+	"errors"
+	"fmt"
+
+	"doppiodb/internal/regex"
+	"doppiodb/internal/token"
+)
+
+// CacheLine is the memory word size of the configuration vector.
+const CacheLine = 64
+
+// Wire-format constants.
+const (
+	magic   = 0xD0
+	version = 1
+
+	headerSize = 8
+	entrySize  = 4 // one matcher-range entry: lo, hi, flags, state
+	stateSize  = 5 // one state: flags byte + 32-bit transition row
+)
+
+// Matcher-entry flag bits.
+const (
+	entryContinues = 1 << 0 // ORed with the previous entry (same chain position)
+	entryNegated   = 1 << 1
+	entryChainEnd  = 1 << 2 // last chain position of its token
+)
+
+// Header flag bits.
+const (
+	flagAnchored    = 1 << 0
+	flagEndAnchored = 1 << 1
+	flagFoldCase    = 1 << 2
+)
+
+// State flag bits.
+const (
+	stateStart       = 1 << 0
+	stateStartGapped = 1 << 1
+	stateAccept      = 1 << 2
+	stateHold        = 1 << 3
+)
+
+// Limits is the deployed circuit's capacity, fixed at FPGA synthesis time
+// (§6.4, §7.9). MaxStates counts NFA states including the end state;
+// MaxChars counts character-matcher registers (a range costs two).
+type Limits struct {
+	MaxStates int
+	MaxChars  int
+}
+
+// DefaultLimits is the evaluation deployment: 16 states and 32 characters
+// fit every query of §7.1.1 and close timing at 400 MHz (Fig. 15).
+var DefaultLimits = Limits{MaxStates: 16, MaxChars: 32}
+
+// Capacity errors: the HUDF catches these and falls back to hybrid or pure
+// software execution.
+var (
+	ErrTooManyStates = errors.New("config: expression needs more NFA states than the deployed circuit provides")
+	ErrTooManyChars  = errors.New("config: expression needs more character matchers than the deployed circuit provides")
+)
+
+// Fits reports whether prog fits the deployment, returning the specific
+// capacity error when it does not.
+func Fits(prog *token.Program, lim Limits) error {
+	if prog.NumStates() > lim.MaxStates {
+		return ErrTooManyStates
+	}
+	if prog.NumChars() > lim.MaxChars {
+		return ErrTooManyChars
+	}
+	return nil
+}
+
+// Encode serializes prog into a configuration vector padded to whole
+// 512-bit words.
+func Encode(prog *token.Program, lim Limits) ([]byte, error) {
+	if err := Fits(prog, lim); err != nil {
+		return nil, err
+	}
+	if len(prog.Tokens) > 32 {
+		return nil, ErrTooManyStates // transition rows are 32 bits wide
+	}
+	var entries []byte
+	for j := range prog.Tokens {
+		tok := &prog.Tokens[j]
+		for k := range tok.Matchers {
+			m := &tok.Matchers[k]
+			for ri, r := range m.Ranges {
+				flags := byte(0)
+				if ri > 0 {
+					flags |= entryContinues
+				}
+				if m.Negated {
+					flags |= entryNegated
+				}
+				if k == len(tok.Matchers)-1 && ri == len(m.Ranges)-1 {
+					flags |= entryChainEnd
+				}
+				entries = append(entries, r.Lo, r.Hi, flags, byte(j))
+			}
+		}
+	}
+	var states []byte
+	for j := range prog.Tokens {
+		flags := byte(0)
+		if prog.Start[j] {
+			flags |= stateStart
+		}
+		if prog.StartGapped[j] {
+			flags |= stateStartGapped
+		}
+		if prog.Accept[j] {
+			flags |= stateAccept
+		}
+		if prog.Hold[j] {
+			flags |= stateHold
+		}
+		var row uint32
+		for _, p := range prog.Preds[j] {
+			row |= 1 << uint(p)
+		}
+		states = append(states, flags,
+			byte(row), byte(row>>8), byte(row>>16), byte(row>>24))
+	}
+
+	hdrFlags := byte(0)
+	if prog.Anchored {
+		hdrFlags |= flagAnchored
+	}
+	if prog.EndAnchored {
+		hdrFlags |= flagEndAnchored
+	}
+	if prog.FoldCase {
+		hdrFlags |= flagFoldCase
+	}
+	nEntries := len(entries) / entrySize
+	if nEntries > 255 {
+		return nil, ErrTooManyChars
+	}
+	buf := make([]byte, 0, headerSize+len(entries)+len(states)+CacheLine)
+	buf = append(buf, magic, version, byte(len(prog.Tokens)), byte(nEntries),
+		hdrFlags, 0, 0, 0)
+	buf = append(buf, entries...)
+	buf = append(buf, states...)
+	if pad := len(buf) % CacheLine; pad != 0 {
+		buf = append(buf, make([]byte, CacheLine-pad)...)
+	}
+	return buf, nil
+}
+
+// Decode reconstructs the token automaton from a configuration vector, as
+// the HAL hardware module does when parametrizing a PU.
+func Decode(buf []byte) (*token.Program, error) {
+	if len(buf) < headerSize || len(buf)%CacheLine != 0 {
+		return nil, fmt.Errorf("config: bad vector length %d", len(buf))
+	}
+	if buf[0] != magic || buf[1] != version {
+		return nil, fmt.Errorf("config: bad magic/version %#x/%d", buf[0], buf[1])
+	}
+	nTokens := int(buf[2])
+	nEntries := int(buf[3])
+	hdrFlags := buf[4]
+	need := headerSize + nEntries*entrySize + nTokens*stateSize
+	if len(buf) < need {
+		return nil, fmt.Errorf("config: vector truncated: %d < %d", len(buf), need)
+	}
+
+	prog := &token.Program{
+		Tokens:      make([]token.Token, nTokens),
+		Preds:       make([][]int, nTokens),
+		Start:       make([]bool, nTokens),
+		StartGapped: make([]bool, nTokens),
+		Accept:      make([]bool, nTokens),
+		Hold:        make([]bool, nTokens),
+		Anchored:    hdrFlags&flagAnchored != 0,
+		EndAnchored: hdrFlags&flagEndAnchored != 0,
+		FoldCase:    hdrFlags&flagFoldCase != 0,
+	}
+
+	off := headerSize
+	for e := 0; e < nEntries; e++ {
+		lo, hi, flags, st := buf[off], buf[off+1], buf[off+2], buf[off+3]
+		off += entrySize
+		if int(st) >= nTokens {
+			return nil, fmt.Errorf("config: entry %d references state %d of %d", e, st, nTokens)
+		}
+		tok := &prog.Tokens[st]
+		r := regex.Range{Lo: lo, Hi: hi}
+		if flags&entryContinues != 0 && len(tok.Matchers) > 0 {
+			last := &tok.Matchers[len(tok.Matchers)-1]
+			last.Ranges = append(last.Ranges, r)
+		} else {
+			tok.Matchers = append(tok.Matchers, token.Matcher{
+				Ranges:  []regex.Range{r},
+				Negated: flags&entryNegated != 0,
+			})
+		}
+	}
+	for j := 0; j < nTokens; j++ {
+		if len(prog.Tokens[j].Matchers) == 0 {
+			return nil, fmt.Errorf("config: state %d has no matcher chain", j)
+		}
+	}
+	for j := 0; j < nTokens; j++ {
+		flags := buf[off]
+		row := uint32(buf[off+1]) | uint32(buf[off+2])<<8 |
+			uint32(buf[off+3])<<16 | uint32(buf[off+4])<<24
+		off += stateSize
+		prog.Start[j] = flags&stateStart != 0
+		prog.StartGapped[j] = flags&stateStartGapped != 0
+		prog.Accept[j] = flags&stateAccept != 0
+		prog.Hold[j] = flags&stateHold != 0
+		for p := 0; p < 32; p++ {
+			if row&(1<<uint(p)) != 0 {
+				if p >= nTokens {
+					return nil, fmt.Errorf("config: state %d has predecessor %d of %d", j, p, nTokens)
+				}
+				prog.Preds[j] = append(prog.Preds[j], p)
+			}
+		}
+	}
+	return prog, nil
+}
+
+// Words returns the number of 512-bit memory words of an encoded vector.
+func Words(buf []byte) int { return len(buf) / CacheLine }

@@ -1,0 +1,168 @@
+package config
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/token"
+)
+
+var paperQueries = []string{
+	`Strasse`,
+	`(Strasse|Str\.).*(8[0-9]{4})`,
+	`[0-9]+(USD|EUR|GBP)`,
+	`[A-Za-z]{3}\:[0-9]{4}`,
+	`(a|b).*c`,
+	`(Blue|Gray).*skies`,
+	`^a.*z$`,
+	`a(b|.*c)d+`,
+	`[^0-9]{2}x`,
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, pat := range paperQueries {
+		prog, err := token.CompilePattern(pat, token.Options{})
+		if err != nil {
+			t.Fatalf("compile %q: %v", pat, err)
+		}
+		buf, err := Encode(prog, DefaultLimits)
+		if err != nil {
+			t.Fatalf("encode %q: %v", pat, err)
+		}
+		if len(buf)%CacheLine != 0 {
+			t.Errorf("%q: vector not cache-line padded: %d", pat, len(buf))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %q: %v", pat, err)
+		}
+		// Behavioural round trip: decoded program must match the
+		// same strings at the same positions.
+		inputs := []string{
+			"", "Strasse", "Koblenzer Strasse 44", "Str. 80001",
+			"100USD", "ABC:1234", "aXXcd", "abdd", "xxa123z",
+			"zzx", "bc", "aXbz",
+		}
+		for _, in := range inputs {
+			if a, b := prog.MatchString(in), got.MatchString(in); a != b {
+				t.Errorf("%q on %q: original=%d decoded=%d", pat, in, a, b)
+			}
+		}
+	}
+}
+
+func TestEncodeFoldCaseFlag(t *testing.T) {
+	prog, _ := token.CompilePattern(`abc`, token.Options{FoldCase: true})
+	buf, err := Encode(prog, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.FoldCase {
+		t.Error("FoldCase flag lost")
+	}
+	if got.MatchString("xABCx") != 4 {
+		t.Error("decoded folded program does not fold")
+	}
+}
+
+func TestFitsLimits(t *testing.T) {
+	prog, _ := token.CompilePattern(`(Strasse|Str\.).*(8[0-9]{4})`, token.Options{})
+	if err := Fits(prog, DefaultLimits); err != nil {
+		t.Errorf("Q2 should fit default deployment: %v", err)
+	}
+	if err := Fits(prog, Limits{MaxStates: 3, MaxChars: 32}); err != ErrTooManyStates {
+		t.Errorf("want ErrTooManyStates, got %v", err)
+	}
+	if err := Fits(prog, Limits{MaxStates: 16, MaxChars: 10}); err != ErrTooManyChars {
+		t.Errorf("want ErrTooManyChars, got %v", err)
+	}
+	if _, err := Encode(prog, Limits{MaxStates: 3, MaxChars: 32}); err != ErrTooManyStates {
+		t.Errorf("Encode should propagate limit error, got %v", err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	prog, _ := token.CompilePattern(`(Strasse|Str\.).*(8[0-9]{4})`, token.Options{})
+	buf, err := Encode(prog, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Words(buf)
+	if w < 1 || w > 4 {
+		t.Errorf("Q2 config vector = %d words, expected a handful of cache lines", w)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"short":         make([]byte, 4),
+		"unaligned":     make([]byte, 65),
+		"bad magic":     append([]byte{0xFF, 1}, make([]byte, 62)...),
+		"bad version":   append([]byte{magic, 99}, make([]byte, 62)...),
+		"truncated":     append([]byte{magic, version, 30, 200, 0, 0, 0, 0}, make([]byte, 56)...),
+		"bad state ref": append([]byte{magic, version, 1, 1, 0, 0, 0, 0, 'a', 'a', entryChainEnd, 5}, make([]byte, 52)...),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	// Random small patterns: encode→decode must preserve match
+	// behaviour exactly.
+	r := rand.New(rand.NewSource(11))
+	atoms := []string{"a", "b", "[ab]", "[^a]", "c"}
+	randPat := func(depth int) string {
+		var build func(d int) string
+		build = func(d int) string {
+			if d == 0 {
+				return atoms[r.Intn(len(atoms))]
+			}
+			switch r.Intn(6) {
+			case 0:
+				return build(d-1) + build(d-1)
+			case 1:
+				return "(" + build(d-1) + "|" + build(d-1) + ")"
+			case 2:
+				return "(" + build(d-1) + ")+"
+			case 3:
+				return build(d-1) + ".*" + build(d-1)
+			default:
+				return build(d - 1)
+			}
+		}
+		return build(depth)
+	}
+	for i := 0; i < 300; i++ {
+		pat := randPat(3)
+		prog, err := token.CompilePattern(pat, token.Options{})
+		if err != nil {
+			continue
+		}
+		buf, err := Encode(prog, Limits{MaxStates: 32, MaxChars: 64})
+		if err != nil {
+			continue // over budget is fine for this property
+		}
+		dec, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %q: %v", pat, err)
+		}
+		for k := 0; k < 20; k++ {
+			var b strings.Builder
+			for j := 0; j < r.Intn(12); j++ {
+				b.WriteByte("abcx"[r.Intn(4)])
+			}
+			in := b.String()
+			if a, d := prog.MatchString(in), dec.MatchString(in); a != d {
+				t.Fatalf("%q on %q: %d vs %d", pat, in, a, d)
+			}
+		}
+	}
+}

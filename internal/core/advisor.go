@@ -1,0 +1,14 @@
+package core
+
+// AdviseOffload implements sql.PlacementAdvisor: it answers whether the
+// hardware implementation is predicted to beat software for this predicate,
+// taking the FPGA's current queued load into account. Errors (e.g. the
+// pattern cannot even be split) conservatively keep the predicate in
+// software.
+func (s *System) AdviseOffload(pattern string, rows, avgLen int) bool {
+	est, err := s.EstimateCost(pattern, rows, avgLen, s.QueuedBytes())
+	if err != nil {
+		return false
+	}
+	return est.Placement == PlaceFPGA || est.Placement == PlaceHybrid
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/token"
+	"doppiodb/internal/workload"
+)
+
+// TestFourConcurrentHUDFs exercises §3's claim: "The design, as described,
+// can run four concurrent HUDFs at a time, each of them for a different
+// query" — four goroutines submit four different patterns against four
+// tables; every result must match its own ground truth (no configuration
+// cross-talk between engines).
+func TestFourConcurrentHUDFs(t *testing.T) {
+	s := newSystem(t)
+	queries := []struct {
+		kind workload.HitKind
+		pat  string
+	}{
+		{workload.HitQ1, workload.Q1Regex},
+		{workload.HitQ2, workload.Q2},
+		{workload.HitQ3, workload.Q3},
+		{workload.HitQ4, workload.Q4},
+	}
+	type input struct {
+		col  *bat.Strings
+		hits int
+		pat  string
+	}
+	inputs := make([]input, len(queries))
+	for i, q := range queries {
+		rows, hits := workload.NewGenerator(int64(100+i), 64).Table(5_000, q.kind, 0.2)
+		tbl, err := s.DB.LoadAddressTable(q.pat, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := tbl.Column("address_string")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[i] = input{col: col.Strs, hits: hits, pat: q.pat}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(inputs))
+	counts := make([]int, len(inputs))
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Exec(inputs[i].col, inputs[i].pat, token.Options{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = res.MatchCount
+		}(i)
+	}
+	wg.Wait()
+	for i, in := range inputs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if counts[i] != in.hits {
+			t.Errorf("query %q matched %d, want %d (engine cross-talk?)",
+				in.pat, counts[i], in.hits)
+		}
+	}
+}

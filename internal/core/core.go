@@ -1,0 +1,384 @@
+// Package core is the paper's primary contribution assembled into a usable
+// system: doppioDB — MonetDB extended with a Hardware User Defined Function
+// (HUDF) that offloads LIKE and REGEXP_LIKE predicates to the runtime-
+// parameterizable regex engines on the FPGA of a hybrid CPU-FPGA machine.
+//
+// A System bundles the simulated platform (shared memory region, programmed
+// FPGA device, HAL) with the column store and registers the REGEXP_FPGA UDF
+// exactly as §4 describes: the UDF converts the pattern into a
+// configuration vector, allocates the result BAT in shared memory, creates
+// FPGA jobs through the HAL, busy-waits on the done bit, and hands the
+// result BAT back to the engine. Patterns that exceed the deployed
+// circuit's capacity transparently use hybrid execution (§7.8): the prefix
+// that fits runs on the FPGA as a pre-filter and the remainder is
+// post-processed in software on the matching tuples only.
+package core
+
+import (
+	"errors"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/config"
+	"doppiodb/internal/engine"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/hal"
+	"doppiodb/internal/mdb"
+	"doppiodb/internal/perf"
+	"doppiodb/internal/shmem"
+	"doppiodb/internal/sim"
+	"doppiodb/internal/softregex"
+	"doppiodb/internal/strmatch"
+	"doppiodb/internal/token"
+)
+
+// UDFName is the SQL-visible name of the hardware operator
+// (REGEXP_FPGA(pattern, column) <> 0 in queries).
+const UDFName = "regexp_fpga"
+
+// Breakdown phase names (Figure 10).
+const (
+	PhaseDatabase  = "Database"
+	PhaseUDF       = "UDF (software part)"
+	PhaseConfigGen = "Config. Gen."
+	PhaseHAL       = "HAL"
+	PhaseHardware  = "Hardware Processing"
+	PhaseSoftware  = "Hybrid post-processing"
+)
+
+// Options configure a System.
+type Options struct {
+	// Deployment overrides the default 4×16 device.
+	Deployment *fpga.Deployment
+	// RegionBytes sizes the shared region (default 4 GB; tests use
+	// less).
+	RegionBytes uint64
+	// Model overrides the calibrated perf model.
+	Model *perf.Model
+}
+
+// System is a running doppioDB instance on the simulated Xeon+FPGA machine.
+type System struct {
+	Region *shmem.Region
+	Device *fpga.Device
+	HAL    *hal.HAL
+	DB     *mdb.DB
+	Model  perf.Model
+}
+
+// NewSystem boots the platform: programs the FPGA, maps the shared region,
+// starts the HAL, creates the database, and registers the HUDF.
+func NewSystem(opts Options) (*System, error) {
+	dep := fpga.DefaultDeployment()
+	if opts.Deployment != nil {
+		dep = *opts.Deployment
+	}
+	dev, err := fpga.NewDevice(dep)
+	if err != nil {
+		return nil, err
+	}
+	region := shmem.NewRegion(opts.RegionBytes)
+	h, err := hal.New(region, dev)
+	if err != nil {
+		return nil, err
+	}
+	model := perf.Default()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	s := &System{
+		Region: region,
+		Device: dev,
+		HAL:    h,
+		DB:     mdb.New(region),
+		Model:  model,
+	}
+	// The HUDF is used together with sequential_pipe (§7.1): the
+	// dataflow parallelism of the default pipeline only adds overhead
+	// around the offloaded operator.
+	s.DB.Mode = mdb.SequentialPipe
+	s.DB.RegisterUDF(UDFName, func(col *bat.Strings, pattern string) (*mdb.UDFResult, error) {
+		return s.RegexpFPGA(col, pattern)
+	})
+	return s, nil
+}
+
+// Result is the HUDF's outcome with full accounting.
+type Result struct {
+	// Matches is the result BAT: per input row, 0 for no match or the
+	// 1-based position of the match's last character.
+	Matches *bat.Shorts
+	// MatchCount is the number of matching rows.
+	MatchCount int
+	// Hybrid reports that hybrid execution was used and which parts ran
+	// where.
+	Hybrid         bool
+	HWPart, SWPart string
+	// Work is the software work performed (hybrid post-processing).
+	Work perf.Work
+	// Times per phase (simulated).
+	Breakdown *sim.Counter
+}
+
+// Total returns the simulated response time.
+func (r *Result) Total() sim.Time { return r.Breakdown.Total() }
+
+// hybridRowDispatch is the per-tuple cost of handing a pre-selected row to
+// the post-processor (result-BAT probe + string fetch).
+const hybridRowDispatch = 150 * sim.Nanosecond
+
+// ErrCannotSplit reports a pattern that neither fits the device nor has a
+// top-level `.*` to split at.
+var ErrCannotSplit = errors.New("core: expression exceeds device capacity and has no split point; use the software operator")
+
+// RegexpFPGA is the HUDF: it evaluates the regular expression over the
+// whole column on the FPGA, following steps 2-9 of Figure 3.
+func (s *System) RegexpFPGA(col *bat.Strings, pattern string) (*mdb.UDFResult, error) {
+	res, err := s.Exec(col, pattern, token.Options{})
+	if err != nil {
+		return nil, err
+	}
+	bd := make(map[string]float64)
+	for _, ph := range res.Breakdown.Phases() {
+		bd[ph] = res.Breakdown.Get(ph).Seconds()
+	}
+	return &mdb.UDFResult{
+		Result:    res.Matches,
+		Work:      res.Work,
+		HWSeconds: res.Breakdown.Get(PhaseHardware).Seconds(),
+		Breakdown: bd,
+	}, nil
+}
+
+// Exec runs the hardware operator with explicit compile options (the ILIKE
+// path passes FoldCase; collation costs nothing on the FPGA, §6.4).
+func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Result, error) {
+	prog, err := token.CompilePattern(pattern, opts)
+	if err != nil {
+		return nil, err
+	}
+	lim := s.Device.Deployment.Limits
+	if err := config.Fits(prog, lim); err == nil {
+		return s.execDirect(col, prog, pattern)
+	}
+	hwPat, swPat, err := SplitPattern(pattern, lim, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.execHybrid(col, hwPat, swPat, opts)
+}
+
+// ExecLike offloads a LIKE/ILIKE pattern by translating it to the regex
+// dialect (Q1's path in the evaluation).
+func (s *System) ExecLike(col *bat.Strings, like string, foldCase bool) (*Result, error) {
+	lp, err := strmatch.CompileLike(like, foldCase)
+	if err != nil {
+		return nil, err
+	}
+	return s.Exec(col, lp.ToRegex(), token.Options{FoldCase: foldCase})
+}
+
+// execDirect runs a fully offloaded query, partitioned across all engines
+// (the FPGA parallelizes a single query by horizontally partitioning the
+// input, §7.5).
+func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern string) (*Result, error) {
+	var bd sim.Counter
+	bd.Add(PhaseDatabase, s.Model.DatabaseOverhead)
+	bd.Add(PhaseUDF, s.Model.UDFOverhead)
+
+	// Step 3: convert the expression into a configuration vector.
+	vec, err := config.Encode(prog, s.Device.Deployment.Limits)
+	if err != nil {
+		return nil, err
+	}
+	bd.Add(PhaseConfigGen, s.Model.ConfigGenTime)
+
+	// Step 3: allocate the result BAT (in CPU-FPGA shared memory).
+	result, err := bat.NewShorts(s.Region, col.Count())
+	if err != nil {
+		return nil, err
+	}
+	if err := result.SetLen(col.Count()); err != nil {
+		return nil, err
+	}
+
+	// Steps 4-8: create jobs through the HAL, one partition per engine.
+	jobs, err := s.submitPartitioned(vec, col, result)
+	if err != nil {
+		return nil, err
+	}
+	bd.Add(PhaseHAL, hal.CreateTime)
+	s.HAL.Drain()
+	var hwDone sim.Time
+	matches := 0
+	for _, j := range jobs {
+		c, err := j.Completion()
+		if err != nil {
+			return nil, err
+		}
+		if c > hwDone {
+			hwDone = c
+		}
+		matches += j.Stats.Matches
+	}
+	bd.Add(PhaseHardware, hwDone)
+	return &Result{
+		Matches:    result,
+		MatchCount: matches,
+		Breakdown:  &bd,
+	}, nil
+}
+
+// submitPartitioned splits the column row-wise across the engines and
+// submits one job per partition.
+func (s *System) submitPartitioned(vec []byte, col *bat.Strings, result *bat.Shorts) ([]*hal.Job, error) {
+	n := col.Count()
+	engines := s.HAL.Engines()
+	if n < engines*64 {
+		engines = 1
+	}
+	offsets := col.OffsetBytes()
+	heap := col.HeapBytes()
+	resBytes := result.Bytes()
+	chunk := (n + engines - 1) / engines
+	var jobs []*hal.Job
+	for e := 0; e < engines; e++ {
+		lo, hi := e*chunk, (e+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		p := engine.JobParams{
+			Config:      vec,
+			Offsets:     offsets[lo*bat.OffsetWidth : hi*bat.OffsetWidth],
+			OffsetWidth: bat.OffsetWidth,
+			Heap:        heap,
+			Count:       hi - lo,
+			Result:      resBytes[lo*2 : hi*2],
+		}
+		j, err := s.HAL.SubmitTo(e, p)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// execHybrid runs the prefix on the FPGA and post-processes matching rows
+// in software (§7.8).
+func (s *System) execHybrid(col *bat.Strings, hwPat, swPat string, opts token.Options) (*Result, error) {
+	prog, err := token.CompilePattern(hwPat, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.execDirect(col, prog, hwPat)
+	if err != nil {
+		return nil, err
+	}
+	// A plain-literal remainder (QH's "delivery") is post-processed with
+	// a Boyer-Moore substring search — what production regex engines do
+	// for literal tails; general remainders use the backtracker.
+	var matchTail func(tail []byte) (int, perf.Work)
+	if lit, ok := literalPattern(swPat); ok && !opts.FoldCase {
+		bm := strmatch.NewBoyerMoore([]byte(lit), false)
+		matchTail = func(tail []byte) (int, perf.Work) {
+			before := bm.Comparisons()
+			at := bm.Find(tail, 0)
+			w := perf.Work{Comparisons: bm.Comparisons() - before}
+			if at < 0 {
+				return 0, w
+			}
+			return at + len(lit), w
+		}
+	} else {
+		bt, err := softregex.NewBacktracker(swPat, opts.FoldCase)
+		if err != nil {
+			return nil, err
+		}
+		matchTail = func(tail []byte) (int, perf.Work) {
+			end, steps := bt.Match(tail)
+			return end, perf.Work{Steps: steps}
+		}
+	}
+	// Post-process only the rows the FPGA pre-selected: the remainder
+	// must match somewhere after the prefix match.
+	matches := 0
+	var work perf.Work
+	for i := 0; i < col.Count(); i++ {
+		pos := res.Matches.Get(i)
+		if pos == 0 {
+			continue
+		}
+		row := col.Get(i)
+		tail := row[min(int(pos), len(row)):]
+		end, w := matchTail(tail)
+		work.RegexRows++
+		work.Add(w)
+		work.Bytes += uint64(len(tail))
+		if end == 0 {
+			res.Matches.Set(i, 0)
+			continue
+		}
+		res.Matches.Set(i, satPos(int(pos)+end))
+		matches++
+	}
+	// The post-processing happens on the software side of the UDF, one
+	// thread (§7.8). Literal tails cost a row dispatch plus comparisons;
+	// regex tails pay the full PCRE-style invocation.
+	swCost := sim.Time(work.RegexRows)*hybridRowDispatch +
+		sim.Time(work.Comparisons)*s.Model.CmpCost +
+		sim.Time(work.Steps)*s.Model.StepCost
+	if work.Steps > 0 {
+		swCost += sim.Time(work.RegexRows) * s.Model.RegexRowOverhead
+	}
+	res.Breakdown.Add(PhaseSoftware, swCost)
+	res.MatchCount = matches
+	res.Hybrid = true
+	res.HWPart, res.SWPart = hwPat, swPat
+	res.Work = work
+	return res, nil
+}
+
+func satPos(p int) uint16 {
+	if p > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(p)
+}
+
+// SplitPattern splits a too-large expression at a top-level `.*` (the
+// "suitable point" of §7.8) into the longest prefix that fits the device
+// and the software remainder.
+func SplitPattern(pattern string, lim config.Limits, opts token.Options) (hwPart, swPart string, err error) {
+	ast, err := regexParse(pattern)
+	if err != nil {
+		return "", "", err
+	}
+	children := topLevelChildren(ast)
+	// Candidate split points: indexes of top-level `.*` children.
+	var gaps []int
+	for i, c := range children {
+		if isDotStar(c) {
+			gaps = append(gaps, i)
+		}
+	}
+	// Prefer the longest fitting prefix.
+	for k := len(gaps) - 1; k >= 0; k-- {
+		g := gaps[k]
+		if g == 0 || g == len(children)-1 {
+			continue
+		}
+		hw := renderConcat(children[:g])
+		sw := renderConcat(children[g+1:])
+		prog, cErr := token.CompilePattern(hw, opts)
+		if cErr != nil {
+			continue
+		}
+		if config.Fits(prog, lim) == nil {
+			return hw, sw, nil
+		}
+	}
+	return "", "", ErrCannotSplit
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"doppiodb/internal/bat"
+	"doppiodb/internal/config"
+	"doppiodb/internal/perf"
+	"doppiodb/internal/sim"
+	"doppiodb/internal/softregex"
+	"doppiodb/internal/token"
+	"doppiodb/internal/workload"
+)
+
+// This file implements the paper's §9 proposal: "being able to provide a
+// cost function for the UDF to the query optimizer could be beneficial for
+// overall performance ... The query optimizer will then be able to
+// dynamically decide where an operator with both a hardware and software
+// implementation will be executed."
+//
+// The hardware cost function is trivially precise — property II of the PU
+// design ("it consumes the input at constant rate regardless of pattern
+// complexity or length which makes its cost function very simple, an
+// important aspect for query planning", §5). The software cost is estimated
+// by probing the backtracker on a small sample of synthesized rows.
+
+// Placement says where the optimizer decided to run a predicate.
+type Placement int
+
+// Placements.
+const (
+	// PlaceFPGA runs the predicate on the regex engines.
+	PlaceFPGA Placement = iota
+	// PlaceHybrid pre-filters on the FPGA and post-processes on the CPU.
+	PlaceHybrid
+	// PlaceSoftware runs the predicate on the CPU (it does not fit the
+	// device, or software is genuinely cheaper).
+	PlaceSoftware
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceFPGA:
+		return "fpga"
+	case PlaceHybrid:
+		return "hybrid"
+	case PlaceSoftware:
+		return "software"
+	}
+	return "unknown"
+}
+
+// CostEstimate is the optimizer-facing cost function of the operator.
+type CostEstimate struct {
+	Placement Placement
+	// HWTime / SWTime are the predicted response times of the two
+	// implementations for the given input volume.
+	HWTime, SWTime sim.Time
+	// QueueDelay is the predicted wait for a free engine given the
+	// FPGA's current load (§9: "the query optimizer has no knowledge
+	// about the capacity or current load on the FPGA" — here it does).
+	QueueDelay sim.Time
+	// States/Chars are the expression's resource demand.
+	States, Chars int
+}
+
+// probeRows bounds the software probe.
+const probeRows = 512
+
+// EstimateCost predicts HUDF vs software response time for evaluating
+// pattern over n strings of avgLen bytes, given `queued` bytes already
+// enqueued on the FPGA, and picks a placement.
+func (s *System) EstimateCost(pattern string, n int, avgLen int, queued int64) (*CostEstimate, error) {
+	prog, err := token.CompilePattern(pattern, token.Options{})
+	if err != nil {
+		return nil, err
+	}
+	est := &CostEstimate{States: prog.NumStates(), Chars: prog.NumChars()}
+
+	// Hardware: volume / QPI bandwidth + fixed overheads; precise by
+	// construction.
+	volume := float64(n) * float64(bat.EntryStride(avgLen)+bat.OffsetWidth+2)
+	est.HWTime = sim.FromSeconds(volume/6.5e9) +
+		s.Model.DatabaseOverhead + s.Model.UDFOverhead + s.Model.ConfigGenTime
+	est.QueueDelay = sim.FromSeconds(float64(queued) / 6.5e9)
+
+	// Software: probe the backtracker on synthesized rows of the same
+	// length to estimate steps per row, then apply the calibrated model.
+	bt, err := softregex.NewBacktracker(pattern, false)
+	if err != nil {
+		return nil, err
+	}
+	g := workload.NewGenerator(1, avgLen)
+	var steps uint64
+	rows := probeRows
+	if n < rows {
+		rows = n
+	}
+	if rows == 0 {
+		rows = 1
+	}
+	for i := 0; i < rows; i++ {
+		_, st := bt.MatchString(g.Row(workload.HitNone))
+		steps += st
+	}
+	w := perf.Work{
+		Rows:      n,
+		RegexRows: n,
+		Steps:     steps * uint64(n) / uint64(rows),
+	}
+	est.SWTime = s.Model.MonetDBScan(w, true)
+
+	// Placement: prefer the FPGA when it wins even after queueing (with
+	// this platform's sub-millisecond offload overhead it nearly always
+	// does — Fig. 10); fall back to hybrid when the expression does not
+	// fit; software when it cannot be split either, or when the FPGA's
+	// queued load erases the win.
+	fits := config.Fits(prog, s.Device.Deployment.Limits) == nil
+	hwTotal := est.HWTime + est.QueueDelay
+	switch {
+	case fits && hwTotal <= est.SWTime:
+		est.Placement = PlaceFPGA
+	case fits:
+		est.Placement = PlaceSoftware
+	default:
+		if _, _, err := SplitPattern(pattern, s.Device.Deployment.Limits, token.Options{}); err == nil {
+			est.Placement = PlaceHybrid
+		} else {
+			est.Placement = PlaceSoftware
+		}
+	}
+	return est, nil
+}
+
+// QueuedBytes reports the FPGA's current load as the total data volume of
+// jobs submitted since the last Drain — the "current load on the FPGA" the
+// paper's optimizer lacks.
+func (s *System) QueuedBytes() int64 {
+	// The HAL tracks per-engine queues; expose their volume.
+	return s.HAL.QueuedBytes()
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"doppiodb/internal/regex"
+)
+
+// literalPattern reports whether the pattern is a plain literal string
+// (a concatenation of literal characters, no operators) and returns it.
+func literalPattern(pattern string) (string, bool) {
+	ast, err := regex.Parse(pattern)
+	if err != nil {
+		return "", false
+	}
+	var out []byte
+	ok := true
+	var walk func(n *regex.Node)
+	walk = func(n *regex.Node) {
+		if !ok {
+			return
+		}
+		switch n.Op {
+		case regex.OpLit:
+			out = append(out, n.Lit)
+		case regex.OpConcat:
+			for _, s := range n.Subs {
+				walk(s)
+			}
+		default:
+			ok = false
+		}
+	}
+	walk(ast)
+	if !ok || len(out) == 0 {
+		return "", false
+	}
+	return string(out), true
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"strings"
+
+	"doppiodb/internal/regex"
+)
+
+// regexParse wraps the parser for SplitPattern.
+func regexParse(pattern string) (*regex.Node, error) {
+	return regex.Parse(pattern)
+}
+
+// topLevelChildren returns the top-level concatenation elements of the AST
+// (flattening nested concatenations from grouping).
+func topLevelChildren(n *regex.Node) []*regex.Node {
+	if n.Op != regex.OpConcat {
+		return []*regex.Node{n}
+	}
+	var out []*regex.Node
+	for _, s := range n.Subs {
+		if s.Op == regex.OpConcat {
+			out = append(out, topLevelChildren(s)...)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isDotStar reports whether the node is `.*`.
+func isDotStar(n *regex.Node) bool {
+	return n.Op == regex.OpStar && n.Subs[0].Op == regex.OpAny
+}
+
+// renderConcat renders a slice of AST children back to pattern syntax.
+func renderConcat(children []*regex.Node) string {
+	var b strings.Builder
+	for _, c := range children {
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/config"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/token"
+)
+
+func mkEngine(t *testing.T) *Engine {
+	t.Helper()
+	dev, err := fpga.NewDevice(fpga.DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev, 0)
+}
+
+func mkParams(t *testing.T, pattern string, rows []string) (JobParams, *bat.Shorts) {
+	t.Helper()
+	prog, err := token.CompilePattern(pattern, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := config.Encode(prog, config.DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := bat.NewStrings(nil, len(rows), len(rows)*80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		col.Append(r)
+	}
+	res, _ := bat.NewShorts(nil, len(rows))
+	res.SetLen(len(rows))
+	return JobParams{
+		Config:      vec,
+		Offsets:     col.OffsetBytes(),
+		OffsetWidth: bat.OffsetWidth,
+		Heap:        col.HeapBytes(),
+		Count:       col.Count(),
+		Result:      res.Bytes(),
+	}, res
+}
+
+func TestExecuteMatchesExpectedPositions(t *testing.T) {
+	rows := []string{
+		"John|Smith|44 Koblenzer Strasse|60327|Frankfurt",
+		"Anna|Miller|9 Lindenweg|80331|Muenchen",
+		"",
+		"Strasse",
+	}
+	e := mkEngine(t)
+	p, res := mkParams(t, `Strasse`, rows)
+	st, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strings != 4 || st.Matches != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	want := []uint16{31, 0, 0, 7}
+	for i, w := range want {
+		if got := res.Get(i); got != w {
+			t.Errorf("result[%d] = %d, want %d", i, got, w)
+		}
+	}
+	// Heap volume: strides of the four strings.
+	wantHeap := 0
+	for _, r := range rows {
+		wantHeap += bat.EntryStride(len(r))
+	}
+	if st.HeapBytes != wantHeap {
+		t.Errorf("HeapBytes = %d, want %d", st.HeapBytes, wantHeap)
+	}
+}
+
+func TestExecuteParallelConsistency(t *testing.T) {
+	// Large inputs stripe across PU workers; results must be identical
+	// to the sequential path and land at the right indexes.
+	rows := make([]string, 10_000)
+	for i := range rows {
+		if i%7 == 0 {
+			rows[i] = fmt.Sprintf("row %d Koblenzer Strasse 8%04d", i, i%10000)
+		} else {
+			rows[i] = fmt.Sprintf("row %d Lindenweg %d", i, i)
+		}
+	}
+	e := mkEngine(t)
+	p, res := mkParams(t, `(Strasse|Str\.).*(8[0-9]{4})`, rows)
+	st, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatches := 0
+	prog, _ := token.CompilePattern(`(Strasse|Str\.).*(8[0-9]{4})`, token.Options{})
+	for i, r := range rows {
+		want := uint16(prog.MatchString(r))
+		if got := res.Get(i); got != want {
+			t.Fatalf("row %d: engine=%d reference=%d", i, got, want)
+		}
+		if want != 0 {
+			wantMatches++
+		}
+	}
+	if st.Matches != wantMatches {
+		t.Errorf("Matches = %d, want %d", st.Matches, wantMatches)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	e := mkEngine(t)
+	good, _ := mkParams(t, `abc`, []string{"abc"})
+
+	p := good
+	p.Config = nil
+	if _, err := e.Execute(p); err == nil {
+		t.Error("missing config accepted")
+	}
+	p = good
+	p.OffsetWidth = 8
+	if _, err := e.Execute(p); err == nil {
+		t.Error("bad offset width accepted")
+	}
+	p = good
+	p.Count = 100
+	if _, err := e.Execute(p); err == nil {
+		t.Error("short offsets accepted")
+	}
+	p = good
+	p.Result = make([]byte, 0)
+	if _, err := e.Execute(p); err == nil {
+		t.Error("short result accepted")
+	}
+	p = good
+	p.Config = make([]byte, 64) // garbage vector
+	if _, err := e.Execute(p); err == nil {
+		t.Error("garbage config accepted")
+	}
+}
+
+func TestBadOffsetFaults(t *testing.T) {
+	e := mkEngine(t)
+	p, _ := mkParams(t, `abc`, []string{"abc", "def"})
+	// Corrupt the second offset to point outside the heap: the engine
+	// must fail like the hardware would on an unmapped access.
+	p.Offsets[4] = 0xFF
+	p.Offsets[5] = 0xFF
+	p.Offsets[6] = 0xFF
+	p.Offsets[7] = 0x7F
+	if _, err := e.Execute(p); err == nil {
+		t.Error("out-of-heap offset accepted")
+	}
+}
+
+func TestTimingJob(t *testing.T) {
+	p := JobParams{OffsetWidth: 4}
+	st := Stats{Strings: 1000, HeapBytes: 72_000}
+	j := TimingJob(p, st)
+	if j.OffsetBytes != 4000 || j.HeapBytes != 72000 || j.ResultBytes != 2000 {
+		t.Errorf("TimingJob = %+v", j)
+	}
+}

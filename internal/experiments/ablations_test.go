@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationGapHold(t *testing.T) {
+	r, err := AblationGapHold(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatesSaved <= 0 {
+		t.Error("gap-hold should save states across the corpus")
+	}
+	for _, row := range r.Rows {
+		if row.StatesNoHold < row.States {
+			t.Errorf("%s: no-hold uses fewer states (%d < %d)?",
+				row.Pattern, row.StatesNoHold, row.States)
+		}
+		if row.CharsNoHold < row.Chars {
+			t.Errorf("%s: no-hold uses fewer chars?", row.Pattern)
+		}
+	}
+	// The multi-gap pattern shows the largest saving: three `.*` saved.
+	var multi *GapHoldRow
+	for i := range r.Rows {
+		if r.Rows[i].Pattern == `one.*two.*three.*four` {
+			multi = &r.Rows[i]
+		}
+	}
+	if multi == nil || multi.StatesNoHold-multi.States != 3 {
+		t.Errorf("multi-gap pattern should save 3 states: %+v", multi)
+	}
+}
+
+func TestAblationArbiter(t *testing.T) {
+	r, err := AblationArbiter(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	// Throughput is QPI-bound: within a few percent across batch sizes.
+	base := r.Rows[2].QPS // batch 16
+	for _, row := range r.Rows {
+		if row.QPS < 0.9*base || row.QPS > 1.1*base {
+			t.Errorf("batch %d: q/s %.1f strays from %.1f", row.GrantLines, row.QPS, base)
+		}
+	}
+	// Latency penalty grows with the batch.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].LatencyPenaltyUS <= r.Rows[i-1].LatencyPenaltyUS {
+			t.Error("latency penalty not increasing with batch size")
+		}
+	}
+}
+
+func TestAblationEngineConfig(t *testing.T) {
+	r, err := AblationEngineConfig(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	// All three are QPI-bound: batch throughput within 10%.
+	for _, row := range r.Rows[1:] {
+		if row.BatchQPS < 0.9*r.Rows[0].BatchQPS || row.BatchQPS > 1.1*r.Rows[0].BatchQPS {
+			t.Errorf("%s: batch q/s %.1f vs 4x16 %.1f", row.Label, row.BatchQPS, r.Rows[0].BatchQPS)
+		}
+	}
+	if r.Rows[0].ConcurrentQueries != 4 || r.Rows[2].ConcurrentQueries != 1 {
+		t.Error("concurrency column wrong")
+	}
+}
+
+func TestAblationSoftEngines(t *testing.T) {
+	r, err := AblationSoftEngines(Config{SampleRows: 1000, Seed: 2, Selectivity: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.BacktrackNS <= 0 || row.ThompsonNS <= 0 || row.DFANS <= 0 {
+			t.Errorf("%s: missing timings %+v", row.Query, row)
+		}
+		if row.DFAStates <= 0 {
+			t.Errorf("%s: no DFA states", row.Query)
+		}
+	}
+}
+
+func TestAblationSubstring(t *testing.T) {
+	r, err := AblationSubstring(Config{SampleRows: 2000, Seed: 2, Selectivity: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		// BM must examine far fewer bytes than the 64 B row.
+		if row.BMComparisons >= 64 {
+			t.Errorf("%q: BM comparisons %d per 64 B row — not skipping",
+				row.Needle, row.BMComparisons)
+		}
+	}
+	// Longer needles skip more.
+	if r.Rows[2].BMComparisons >= r.Rows[0].BMComparisons {
+		t.Errorf("longer needle should compare less: %d vs %d",
+			r.Rows[2].BMComparisons, r.Rows[0].BMComparisons)
+	}
+}
+
+func TestAblationRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if r, err := AblationGapHold(quickCfg()); err == nil {
+		r.Render(&buf)
+	}
+	if r, err := AblationArbiter(quickCfg()); err == nil {
+		r.Render(&buf)
+	}
+	if r, err := AblationEngineConfig(quickCfg()); err == nil {
+		r.Render(&buf)
+	}
+	if buf.Len() == 0 {
+		t.Error("no render output")
+	}
+}
+
+func TestAblationPrescan(t *testing.T) {
+	r, err := AblationPrescan(Config{SampleRows: 3000, Seed: 4, Selectivity: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Prefix == "" {
+			t.Errorf("%s: no prefix found", row.Query)
+		}
+		if row.StepsPrescan*3 > row.StepsPlain {
+			t.Errorf("%s: prescan %f not ≪ plain %f", row.Query, row.StepsPrescan, row.StepsPlain)
+		}
+		if row.MonetDBFast >= row.MonetDBPlain {
+			t.Errorf("%s: modelled time did not improve", row.Query)
+		}
+	}
+}

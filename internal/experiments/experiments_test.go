@@ -1,0 +1,490 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps functional sampling small for unit tests.
+func quickCfg() Config { return Config{SampleRows: 4000, Seed: 3, Selectivity: 0.2} }
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	contains, like, regexp := r.Rows[0], r.Rows[1], r.Rows[2]
+	// The trend of Table 1: each operator an order of magnitude apart.
+	if !(contains.MonetDB < like.MonetDB && like.MonetDB < regexp.MonetDB) {
+		t.Errorf("MonetDB ordering broken: %v %v %v",
+			contains.MonetDB, like.MonetDB, regexp.MonetDB)
+	}
+	if regexp.MonetDB/like.MonetDB < 8 {
+		t.Errorf("REGEXP/LIKE = %.1f, want ≥8", regexp.MonetDB/like.MonetDB)
+	}
+	// CONTAINS and LIKE land within 2x of the published values; the
+	// regex constants trade Table 1's absolute for Figures 9/11's
+	// relative shapes (~3x off, see internal/perf).
+	for _, row := range []Table1Row{contains, like} {
+		ratio := row.MonetDB / row.PaperMonetDB
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: measured %.3f vs paper %.3f (ratio %.2f)",
+				row.Query, row.MonetDB, row.PaperMonetDB, ratio)
+		}
+	}
+	if ratio := regexp.MonetDB / regexp.PaperMonetDB; ratio < 0.25 || ratio > 4 {
+		t.Errorf("REGEXP: measured %.3f vs paper %.3f (ratio %.2f)",
+			regexp.MonetDB, regexp.PaperMonetDB, ratio)
+	}
+	if r.IndexCost < 20*60 {
+		t.Errorf("index rebuild %.0fs, want >20min", r.IndexCost)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	r, err := Figure8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points: %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Within 10% of the figure's values.
+		if p.PaperQPS > 0 {
+			ratio := p.QPS / p.PaperQPS
+			if ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("%d engines: %.1f q/s vs paper %.1f", p.Engines, p.QPS, p.PaperQPS)
+			}
+		}
+	}
+	// Saturation: 2 -> 4 engines adds (almost) nothing.
+	if diff := r.Points[3].QPS - r.Points[1].QPS; diff > 1.5 {
+		t.Errorf("4 engines gained %.1f q/s over 2; QPI should bound", diff)
+	}
+	// Capacity line scales linearly with engines.
+	if r.Points[3].Capacity < 3.9*r.Points[0].Capacity {
+		t.Error("capacity line not linear")
+	}
+	if r.SingleEngineRawGBs < 5.4 || r.SingleEngineRawGBs > 6.3 {
+		t.Errorf("single-engine raw %.2f GB/s, want ≈5.89", r.SingleEngineRawGBs)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	r, err := Figure9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQ := map[string][]Figure9Point{}
+	for _, p := range r.Points {
+		byQ[p.Query] = append(byQ[p.Query], p)
+	}
+	// FPGA lines are complexity-independent: identical across queries.
+	for i := range byQ["Q1"] {
+		if byQ["Q1"][i].FPGA != byQ["Q3"][i].FPGA {
+			t.Error("FPGA time depends on query complexity")
+		}
+	}
+	// Q1: the cheap substring query is where software is competitive
+	// (the paper reports MonetDB slightly ahead; our Table-1-calibrated
+	// LIKE cost leaves the FPGA ahead by ~10x — the smallest gap of the
+	// four queries, recorded in EXPERIMENTS.md).
+	last := len(figure9Sizes) - 1
+	q1 := byQ["Q1"][3] // 2.5M records
+	if r := q1.MonetDB / q1.FPGA; r < 1 || r > 15 {
+		t.Errorf("Q1 at 2.5M: MonetDB/FPGA = %.1f, want the closest race of all queries", r)
+	}
+	for _, q := range []string{"Q2", "Q3", "Q4"} {
+		p := byQ[q][3]
+		su := p.MonetDB / p.FPGA
+		if su < 30 || su > 400 {
+			t.Errorf("%s at 2.5M: speedup %.1f, want one to two orders of magnitude", q, su)
+		}
+		if su < 3*q1.MonetDB/q1.FPGA {
+			t.Errorf("%s speedup %.1f should dwarf Q1's", q, su)
+		}
+	}
+	// MonetDB flat region: Q1 response equal at 320k and 1.25M (the
+	// parallelization floor), then growing.
+	if byQ["Q1"][0].MonetDB != byQ["Q1"][2].MonetDB {
+		t.Errorf("Q1 MonetDB not flat in the floor region: %.3f vs %.3f",
+			byQ["Q1"][0].MonetDB, byQ["Q1"][2].MonetDB)
+	}
+	if byQ["Q1"][last].MonetDB <= byQ["Q1"][2].MonetDB {
+		t.Error("Q1 MonetDB does not grow past the floor")
+	}
+	// DBx scales linearly with size for every query.
+	for q, pts := range byQ {
+		r41 := pts[3].DBx / pts[0].DBx
+		if r41 < 7 || r41 > 8.5 { // 2.5M / 320k ≈ 7.8
+			t.Errorf("%s: DBx not linear: %.2f", q, r41)
+		}
+		// FPGA also linear in size.
+		rf := pts[last].FPGA / pts[3].FPGA
+		if rf < 3.5 || rf > 4.5 { // 10M / 2.5M
+			t.Errorf("%s: FPGA not linear: %.2f", q, rf)
+		}
+		// FPGA(ideal) strictly faster than FPGA.
+		for _, p := range pts {
+			if p.FPGAIdeal >= p.FPGA {
+				t.Errorf("%s@%d: ideal %.4f not faster than %.4f",
+					q, p.Records, p.FPGAIdeal, p.FPGA)
+			}
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	r, err := Figure10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ConfigGen > 0.001 { // <1µs in ms
+			t.Errorf("%s: config gen %.6f ms, want <1µs", row.Query, row.ConfigGen)
+		}
+		if row.Hardware <= 0 || row.Total < row.Hardware {
+			t.Errorf("%s: breakdown inconsistent: %+v", row.Query, row)
+		}
+		// 10k tuples: total well under a millisecond... the paper's
+		// plot tops at ~0.25 ms; ours should be the same order.
+		if row.Total > 1.0 {
+			t.Errorf("%s: total %.3f ms too large for 10k tuples", row.Query, row.Total)
+		}
+		// Identical across queries: complexity-independent.
+		if row.Hardware != r.Rows[0].Hardware {
+			t.Errorf("hardware time differs across queries: %v vs %v",
+				row.Hardware, r.Rows[0].Hardware)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	r, err := Figure11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQC := map[string]map[int]Figure11Point{}
+	for _, p := range r.Points {
+		if byQC[p.Query] == nil {
+			byQC[p.Query] = map[int]Figure11Point{}
+		}
+		byQC[p.Query][p.Clients] = p
+	}
+	// MonetDB and FPGA flat in clients; DBx linear then capped.
+	for q, m := range byQC {
+		if m[1].MonetDB != m[10].MonetDB {
+			t.Errorf("%s: MonetDB not flat", q)
+		}
+		if m[1].FPGA != m[10].FPGA {
+			t.Errorf("%s: FPGA not flat", q)
+		}
+		if r5 := m[5].DBx / m[1].DBx; r5 < 4.9 || r5 > 5.1 {
+			t.Errorf("%s: DBx not linear in clients: %.2f", q, r5)
+		}
+	}
+	// Q1: DBx at 10 clients can match the FPGA (§7.6).
+	q1 := byQC["Q1"]
+	if q1[10].DBx < 0.3*q1[10].FPGA {
+		t.Errorf("Q1 DBx@10 %.1f should approach FPGA %.1f", q1[10].DBx, q1[10].FPGA)
+	}
+	// Complex queries: MonetDB 5-30x slower than its Q1.
+	for _, q := range []string{"Q2", "Q3", "Q4"} {
+		ratio := byQC["Q1"][1].MonetDB / byQC[q][1].MonetDB
+		if ratio < 5 || ratio > 40 {
+			t.Errorf("%s: MonetDB Q1/complex throughput ratio %.1f", q, ratio)
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	r, err := Figure12(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	like, ilike := r.Rows[0], r.Rows[1]
+	if f := ilike.MonetDB / like.MonetDB; f < 1.7 || f > 2.2 {
+		t.Errorf("ILIKE/LIKE = %.2f, want ≈2 (paper)", f)
+	}
+	if ilike.FPGA != like.FPGA {
+		t.Error("FPGA collation should be free")
+	}
+	if f := like.FPGA / like.MonetDB; f < 0.55 || f > 0.85 {
+		t.Errorf("FPGA/MonetDB = %.2f, want ≈0.7 (30%% faster)", f)
+	}
+	if r.Groups == 0 {
+		t.Error("no functional result groups")
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	r, err := Figure13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points: %d", len(r.Points))
+	}
+	// Hybrid throughput declines monotonically with selectivity.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].HybridQPS >= r.Points[i-1].HybridQPS {
+			t.Errorf("hybrid not declining at sel %.1f: %.2f -> %.2f",
+				r.Points[i].Selectivity, r.Points[i-1].HybridQPS, r.Points[i].HybridQPS)
+		}
+	}
+	// At selectivity 0 the hybrid runs at the FPGA-bound rate.
+	if r.Points[0].HybridQPS < 20 {
+		t.Errorf("hybrid at sel=0: %.1f q/s, want ≈FPGA rate", r.Points[0].HybridQPS)
+	}
+	// MonetDB flat across selectivities; hybrid always wins.
+	for _, p := range r.Points {
+		if p.HybridQPS <= p.MonetDBQPS {
+			t.Errorf("hybrid %.2f not above MonetDB %.2f at sel %.1f",
+				p.HybridQPS, p.MonetDBQPS, p.Selectivity)
+		}
+	}
+	if r.MaxSpeedup < 13 {
+		t.Errorf("max speedup %.1f, want ≥ the paper's 13x", r.MaxSpeedup)
+	}
+}
+
+func TestFigure14Shapes(t *testing.T) {
+	a, err := Figure14a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def, five *Figure14aRow
+	for i := range a.Rows {
+		switch a.Rows[i].Label {
+		case "4x16":
+			def = &a.Rows[i]
+		case "5x16":
+			five = &a.Rows[i]
+		}
+	}
+	if def == nil || five == nil {
+		t.Fatal("missing configs")
+	}
+	if def.Total < 78 || def.Total > 82 || !def.TimingMet {
+		t.Errorf("4x16: %.1f%% met=%v, want ~80%% met", def.Total, def.TimingMet)
+	}
+	if five.TimingMet {
+		t.Error("5x16 must fail timing")
+	}
+	if def.Bandwidth != 25.6 {
+		t.Errorf("4x16 bandwidth %.1f, want 25.6", def.Bandwidth)
+	}
+
+	b, err := Figure14b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(b.Rows); i++ {
+		if b.Rows[i].Total <= b.Rows[i-1].Total {
+			t.Error("14b not increasing")
+		}
+		if b.Rows[i].BRAM != b.Rows[0].BRAM {
+			t.Error("14b BRAM should be constant")
+		}
+	}
+	if b.Rows[0].BRAM < 41 || b.Rows[0].BRAM > 43 {
+		t.Errorf("BRAM %.1f, want 42", b.Rows[0].BRAM)
+	}
+
+	c, err := Figure14c(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadratic: increments grow.
+	d1 := c.Rows[1].Total - c.Rows[0].Total
+	d3 := c.Rows[3].Total - c.Rows[2].Total
+	if d3 <= d1 {
+		t.Errorf("14c not super-linear: %.2f vs %.2f", d1, d3)
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	r, err := Figure15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible400 == 0 {
+		t.Fatal("no feasible 400 MHz configurations")
+	}
+	if r.Feasible200 < 2*r.Feasible400 {
+		t.Errorf("200 MHz space %d not ≫ 400 MHz %d", r.Feasible200, r.Feasible400)
+	}
+	// Every 400 MHz-feasible cell is 200 MHz-feasible (monotone).
+	feasible := map[[2]int]map[int]bool{}
+	for _, c := range r.Cells {
+		k := [2]int{c.States, c.Chars}
+		if feasible[k] == nil {
+			feasible[k] = map[int]bool{}
+		}
+		feasible[k][c.ClockMHz] = c.Feasible
+	}
+	for k, m := range feasible {
+		if m[400] && !m[200] {
+			t.Errorf("cell %v feasible at 400 but not 200 MHz", k)
+		}
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	// Every renderer must produce non-empty output without panicking.
+	cfg := quickCfg()
+	var buf bytes.Buffer
+	if r, err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure8(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure10(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure12(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure14a(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure15(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 8", "Figure 10", "Figure 12", "Figure 14a", "Figure 15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+}
+
+func TestPlatformMicrobench(t *testing.T) {
+	r, err := Platform(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPUReadGBs != 25 || r.QPIReadGBs != 6.5 {
+		t.Errorf("platform constants: %+v", r)
+	}
+	if r.SingleEngineGBs < 5.4 || r.SingleEngineGBs > 6.2 {
+		t.Errorf("single engine %.2f GB/s, want ≈5.89", r.SingleEngineGBs)
+	}
+	if r.TwoEngineGBs <= r.SingleEngineGBs {
+		t.Error("second engine should lift sustained bandwidth")
+	}
+	if r.AggregatePeakGBs != 25.6 {
+		t.Errorf("aggregate peak %.1f, want 25.6", r.AggregatePeakGBs)
+	}
+	if r.NUMABandwidthGap < 3.5 || r.NUMABandwidthGap > 4.2 {
+		t.Errorf("NUMA gap %.1f, want ~3.8x", r.NUMABandwidthGap)
+	}
+}
+
+func TestNextGenProjection(t *testing.T) {
+	r, err := NextGen(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("platforms: %d", len(r.Rows))
+	}
+	// Each generation strictly improves the response time.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Q1Sec >= r.Rows[i-1].Q1Sec {
+			t.Errorf("%s (%.4fs) not faster than %s (%.4fs)",
+				r.Rows[i].Platform, r.Rows[i].Q1Sec,
+				r.Rows[i-1].Platform, r.Rows[i-1].Q1Sec)
+		}
+	}
+	// §9's point: with more bandwidth the FPGA wins Q1 decisively.
+	if last := r.Rows[2]; last.Q1VsMonetDB > 0.1 {
+		t.Errorf("unconstrained platform should crush MonetDB Q1: ratio %.2f", last.Q1VsMonetDB)
+	}
+	// String-length sweep: useful bandwidth grows with string length.
+	sw := r.StringLenSweep
+	if len(sw) != 5 {
+		t.Fatalf("sweep points: %d", len(sw))
+	}
+	for i := 1; i < len(sw); i++ {
+		if sw[i].UsefulGBs <= sw[i-1].UsefulGBs {
+			t.Errorf("useful bandwidth not increasing with string length: %v", sw)
+		}
+	}
+}
+
+func TestRemainingRenders(t *testing.T) {
+	cfg := quickCfg()
+	var buf bytes.Buffer
+	if r, err := Figure9(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure11(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure13(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure14b(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Figure14c(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := Platform(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := NextGen(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := AblationSoftEngines(Config{SampleRows: 500}); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	if r, err := AblationSubstring(Config{SampleRows: 500}); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&buf)
+	}
+	for _, want := range []string{"Figure 9", "Figure 11", "Figure 13", "Platform", "Next-generation"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in renders", want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"doppiodb/internal/perf"
+	"doppiodb/internal/workload"
+)
+
+// Figure11Point is one (query, client-count) throughput cell.
+type Figure11Point struct {
+	Query   string
+	Clients int
+	MonetDB float64 // queries/s
+	DBx     float64
+	FPGA    float64
+}
+
+// Figure11Result reproduces Figures 11a/11b: throughput with increasing
+// client count over the 2.5 M-tuple table.
+type Figure11Result struct {
+	Points []Figure11Point
+}
+
+// Figure11 runs the experiment: MonetDB is work-conserving (flat lines),
+// DBx assigns one thread per query (linear until the cores run out), and
+// the FPGA is QPI-bound at a constant rate.
+func Figure11(cfg Config) (*Figure11Result, error) {
+	cfg = cfg.withDefaults()
+	model := perf.Default()
+	out := &Figure11Result{}
+	// The FPGA rate is the same for every query (complexity-independent)
+	// and every client count (the QPI link is the only bottleneck).
+	fpgaQPS := fpgaThroughput(PaperRows, workload.DefaultStrLen, 4, 40)
+	for _, q := range evalQueries() {
+		work, err := perRowWork(cfg, q)
+		if err != nil {
+			return nil, err
+		}
+		scaled := scaleWork(work, cfg.SampleRows, PaperRows)
+		mdbResp := model.MonetDBScan(scaled, true)
+		dbxResp := model.DBXScan(scaled)
+		for clients := 1; clients <= 10; clients++ {
+			out.Points = append(out.Points, Figure11Point{
+				Query:   q.Name,
+				Clients: clients,
+				MonetDB: model.MonetDBAggregateThroughput(mdbResp),
+				DBx:     model.DBXThroughput(dbxResp, clients),
+				FPGA:    fpgaQPS,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints both panels.
+func (r *Figure11Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 11: throughput vs number of clients, 2.5M records (queries/s)")
+	fmt.Fprintf(w, "  %-4s %8s %12s %12s %12s\n", "Q", "clients", "MonetDB", "DBx", "FPGA")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-4s %8d %12.3f %12.3f %12.1f\n",
+			p.Query, p.Clients, p.MonetDB, p.DBx, p.FPGA)
+	}
+}

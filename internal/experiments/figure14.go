@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"doppiodb/internal/config"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/sim"
+)
+
+// Figure14aRow is one engine/PU configuration.
+type Figure14aRow struct {
+	Label       string
+	Engines     int
+	PUs         int
+	QPIEndpoint float64
+	Arbitration float64
+	PUsPct      float64
+	Total       float64
+	Bandwidth   float64 // aggregate GB/s
+	TimingMet   bool
+}
+
+// Figure14aResult reproduces Figure 14a: logic usage vs engine and PU
+// configuration, including the 5×16 timing failure.
+type Figure14aResult struct{ Rows []Figure14aRow }
+
+// Figure14a runs the sweep.
+func Figure14a(cfg Config) (*Figure14aResult, error) {
+	configs := []struct {
+		engines, pus int
+	}{
+		{1, 16}, {2, 16}, {3, 16}, {4, 16}, {2, 32}, {1, 64}, {5, 16},
+	}
+	out := &Figure14aResult{}
+	for _, c := range configs {
+		d := fpga.DefaultDeployment()
+		d.Engines = c.engines
+		d.PUsPerEngine = c.pus
+		u, err := fpga.Synthesize(d)
+		timingMet := err == nil
+		if err != nil && err != fpga.ErrTimingViolated && err != fpga.ErrOverCapacity {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Figure14aRow{
+			Label:       fmt.Sprintf("%dx%d", c.engines, c.pus),
+			Engines:     c.engines,
+			PUs:         c.pus,
+			QPIEndpoint: u.QPIEndpoint,
+			Arbitration: u.Arbitration,
+			PUsPct:      u.PUs,
+			Total:       u.LogicTotal,
+			Bandwidth:   d.AggregateBandwidth() / 1e9,
+			TimingMet:   timingMet,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the stacked-bar data.
+func (r *Figure14aResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 14a: logic usage vs engines x PUs (percent of device)")
+	fmt.Fprintf(w, "  %-6s %8s %8s %8s %8s %10s %s\n",
+		"config", "QPI", "arb+SR", "PUs", "total", "GB/s", "timing")
+	for _, row := range r.Rows {
+		status := "met"
+		if !row.TimingMet {
+			status = "NOT MET (paper: 5x16 fails routing)"
+		}
+		fmt.Fprintf(w, "  %-6s %8.1f %8.1f %8.1f %8.1f %10.1f %s\n",
+			row.Label, row.QPIEndpoint, row.Arbitration, row.PUsPct,
+			row.Total, row.Bandwidth, status)
+	}
+	fmt.Fprintln(w, "  (paper: 4x16 uses ~80% logic at 25.6 GB/s capacity)")
+}
+
+// Figure14bRow is one character-budget point.
+type Figure14bRow struct {
+	Chars int
+	Total float64
+	BRAM  float64
+}
+
+// Figure14bResult reproduces Figure 14b: logic vs max characters (4×16,
+// 8 states); BRAM stays constant.
+type Figure14bResult struct{ Rows []Figure14bRow }
+
+// Figure14b runs the sweep.
+func Figure14b(cfg Config) (*Figure14bResult, error) {
+	out := &Figure14bResult{}
+	for chars := 16; chars <= 64; chars += 16 {
+		d := fpga.DefaultDeployment()
+		d.Limits = config.Limits{MaxStates: 8, MaxChars: chars}
+		u := d.Resources()
+		out.Rows = append(out.Rows, Figure14bRow{Chars: chars, Total: u.LogicTotal, BRAM: u.BRAMTotal})
+	}
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Figure14bResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 14b: logic vs max characters (4x16, 8 states)")
+	fmt.Fprintf(w, "  %-8s %10s %10s\n", "chars", "logic %", "BRAM %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %10.1f %10.1f\n", row.Chars, row.Total, row.BRAM)
+	}
+	fmt.Fprintln(w, "  (paper: linear in characters, BRAM constant at 42%)")
+}
+
+// Figure14cRow is one state-budget point.
+type Figure14cRow struct {
+	States int
+	Total  float64
+}
+
+// Figure14cResult reproduces Figure 14c: logic vs max states (4×16, 16
+// chars) — quadratic growth of the fully connected graph.
+type Figure14cResult struct{ Rows []Figure14cRow }
+
+// Figure14c runs the sweep.
+func Figure14c(cfg Config) (*Figure14cResult, error) {
+	out := &Figure14cResult{}
+	for _, states := range []int{4, 8, 12, 16} {
+		d := fpga.DefaultDeployment()
+		d.Limits = config.Limits{MaxStates: states, MaxChars: 16}
+		u := d.Resources()
+		out.Rows = append(out.Rows, Figure14cRow{States: states, Total: u.LogicTotal})
+	}
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Figure14cResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 14c: logic vs max states (4x16, 16 chars)")
+	fmt.Fprintf(w, "  %-8s %10s\n", "states", "logic %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %10.1f\n", row.States, row.Total)
+	}
+	fmt.Fprintln(w, "  (paper: quadratic in states — the fully connected state graph)")
+}
+
+// Figure15Cell is one (states, chars, clock) feasibility cell.
+type Figure15Cell struct {
+	States, Chars int
+	ClockMHz      int
+	Feasible      bool
+	CriticalNS    float64
+}
+
+// Figure15Result reproduces Figure 15: the feasible complexity space at
+// 400 MHz vs 200 MHz on the 2×16 deployment.
+type Figure15Result struct {
+	Cells []Figure15Cell
+	// Feasible400/Feasible200 count feasible cells per clock.
+	Feasible400, Feasible200 int
+}
+
+// Figure15 runs the sweep.
+func Figure15(cfg Config) (*Figure15Result, error) {
+	out := &Figure15Result{}
+	for _, mhz := range []int{400, 200} {
+		for states := 8; states <= 32; states += 4 {
+			for chars := 16; chars <= 64; chars += 16 {
+				d := fpga.DefaultDeployment()
+				d.Engines = 2
+				d.PUsPerEngine = 16
+				d.Limits = config.Limits{MaxStates: states, MaxChars: chars}
+				d.PUClock = sim.Clock{HZ: int64(mhz) * 1_000_000}
+				_, err := fpga.Synthesize(d)
+				cell := Figure15Cell{
+					States:     states,
+					Chars:      chars,
+					ClockMHz:   mhz,
+					Feasible:   err == nil,
+					CriticalNS: float64(d.CriticalPath()) / 1e3,
+				}
+				if cell.Feasible {
+					if mhz == 400 {
+						out.Feasible400++
+					} else {
+						out.Feasible200++
+					}
+				}
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render prints the two feasibility grids.
+func (r *Figure15Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 15: valid PU configurations (2x16 deployment)")
+	for _, mhz := range []int{400, 200} {
+		fmt.Fprintf(w, "  %d MHz (y: chars, x: states; #=timing met, .=violated)\n", mhz)
+		fmt.Fprint(w, "        ")
+		for states := 8; states <= 32; states += 4 {
+			fmt.Fprintf(w, "%4d", states)
+		}
+		fmt.Fprintln(w)
+		for chars := 64; chars >= 16; chars -= 16 {
+			fmt.Fprintf(w, "  %4d  ", chars)
+			for states := 8; states <= 32; states += 4 {
+				mark := "."
+				for _, c := range r.Cells {
+					if c.States == states && c.Chars == chars && c.ClockMHz == mhz && c.Feasible {
+						mark = "#"
+					}
+				}
+				fmt.Fprintf(w, "%4s", mark)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "  feasible cells: %d at 400 MHz, %d at 200 MHz (paper: halving the clock greatly enlarges the space)\n",
+		r.Feasible400, r.Feasible200)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/workload"
+)
+
+// Figure8Point is one engine-count measurement.
+type Figure8Point struct {
+	Engines  int
+	QPS      float64 // measured (simulated platform)
+	Capacity float64 // processing capacity in queries/s (the dashed line)
+	PaperQPS float64 // read off Figure 8
+}
+
+// Figure8Result reproduces Figure 8: throughput scaling with the number of
+// Regex Engines (Q1, 2.5 M tuples, 10 clients).
+type Figure8Result struct {
+	Points []Figure8Point
+	// SingleEngineRawGBs / UsefulGBs echo §7.3's bandwidth accounting.
+	SingleEngineRawGBs    float64
+	SingleEngineUsefulGBs float64
+}
+
+// Figure8 runs the experiment.
+func Figure8(cfg Config) (*Figure8Result, error) {
+	cfg = cfg.withDefaults()
+	const queries = 40 // enough back-to-back queries to reach steady state
+	paper := map[int]float64{1: 30.7, 2: 34.4, 3: 34.4, 4: 34.4}
+	out := &Figure8Result{}
+	volume := float64(PaperRows) * float64(bat.EntryStride(workload.DefaultStrLen)+bat.OffsetWidth+2)
+	useful := float64(PaperRows) * float64(workload.DefaultStrLen)
+	for engines := 1; engines <= 4; engines++ {
+		qps := fpgaThroughput(PaperRows, workload.DefaultStrLen, engines, queries)
+		capacity := float64(engines) * 6.4e9 / volume
+		out.Points = append(out.Points, Figure8Point{
+			Engines:  engines,
+			QPS:      qps,
+			Capacity: capacity,
+			PaperQPS: paper[engines],
+		})
+		if engines == 1 {
+			out.SingleEngineRawGBs = qps * volume / 1e9
+			out.SingleEngineUsefulGBs = qps * useful / 1e9
+		}
+	}
+	return out, nil
+}
+
+// Render prints the series.
+func (r *Figure8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8: throughput vs number of Regex Engines (Q1, 2.5M tuples, 10 clients)")
+	fmt.Fprintf(w, "  %-8s %14s %14s %18s\n", "engines", "measured q/s", "paper q/s", "capacity q/s")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-8d %14.1f %14.1f %18.1f\n", p.Engines, p.QPS, p.PaperQPS, p.Capacity)
+	}
+	fmt.Fprintf(w, "  single engine: %.2f GB/s raw (paper ~5.89), %.2f GB/s useful (paper ~4.7)\n",
+		r.SingleEngineRawGBs, r.SingleEngineUsefulGBs)
+}

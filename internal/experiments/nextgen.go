@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/memmodel"
+	"doppiodb/internal/perf"
+	"doppiodb/internal/workload"
+)
+
+// NextGenRow is one platform generation's Q1/Q2 response at 2.5 M rows.
+type NextGenRow struct {
+	Platform    string
+	LinkGBs     float64
+	Q1Sec       float64 // simple query (MonetDB's best case)
+	Q2Sec       float64 // complex query
+	Q1VsMonetDB float64 // FPGA/MonetDB ratio (<1: FPGA wins)
+}
+
+// NextGenResult projects the §9 discussion: "the next generation
+// Xeon+FPGA architecture ... will address the issues of memory bandwidth
+// by providing both a QPI and PCIe link to the FPGA". It compares the
+// prototype link, the announced QPI+2×PCIe configuration, and the
+// bandwidth-unconstrained limit (the engines' 25.6 GB/s capacity).
+type NextGenResult struct {
+	Rows           []NextGenRow
+	MonetDBQ1      float64
+	MonetDBQ2      float64
+	StringLenSweep []StringLenRow
+}
+
+// StringLenRow shows how string length moves the offset/heap mix and the
+// FPGA response (longer strings amortize the 4 B offset per row).
+type StringLenRow struct {
+	StrLen    int
+	FPGASec   float64
+	UsefulGBs float64
+}
+
+// NextGen runs the projection.
+func NextGen(cfg Config) (*NextGenResult, error) {
+	cfg = cfg.withDefaults()
+	model := perf.Default()
+
+	// Software reference at 2.5 M rows.
+	q1work, err := perRowWork(cfg, evalQueries()[0])
+	if err != nil {
+		return nil, err
+	}
+	q2work, err := perRowWork(cfg, evalQueries()[1])
+	if err != nil {
+		return nil, err
+	}
+	out := &NextGenResult{
+		MonetDBQ1: model.MonetDBScan(scaleWork(q1work, cfg.SampleRows, PaperRows), true).Seconds(),
+		MonetDBQ2: model.MonetDBScan(scaleWork(q2work, cfg.SampleRows, PaperRows), true).Seconds(),
+	}
+
+	platforms := []struct {
+		name string
+		bw   float64
+		sw   bool // keep the prototype's switch stalls
+	}{
+		{"HARP v1 (QPI)", 6.5e9, true},
+		{"next-gen (QPI + 2x PCIe)", 6.5e9 + 2*8e9, false},
+		{"unconstrained (engine capacity)", 25.6e9, false},
+	}
+	stride := bat.EntryStride(workload.DefaultStrLen)
+	for _, p := range platforms {
+		params := memmodel.Default()
+		params.QPIBandwidth = p.bw
+		if !p.sw {
+			params.SwitchLatency = 0
+		}
+		mk := func() float64 {
+			per := PaperRows / 4
+			queues := make([][]memmodel.Job, 4)
+			for e := 0; e < 4; e++ {
+				queues[e] = []memmodel.Job{memmodel.JobForStrings(per, workload.DefaultStrLen, bat.OffsetWidth, stride, 2)}
+			}
+			return memmodel.Simulate(params, queues).Finish.Seconds()
+		}
+		t := mk()
+		out.Rows = append(out.Rows, NextGenRow{
+			Platform:    p.name,
+			LinkGBs:     p.bw / 1e9,
+			Q1Sec:       t,
+			Q2Sec:       t, // complexity independent
+			Q1VsMonetDB: t / out.MonetDBQ1,
+		})
+	}
+
+	// String-length sweep on the prototype link.
+	for _, sl := range []int{16, 32, 64, 128, 256} {
+		params := memmodel.Default()
+		st := bat.EntryStride(sl)
+		per := PaperRows / 4
+		queues := make([][]memmodel.Job, 4)
+		for e := 0; e < 4; e++ {
+			queues[e] = []memmodel.Job{memmodel.JobForStrings(per, sl, bat.OffsetWidth, st, 2)}
+		}
+		res := memmodel.Simulate(params, queues)
+		t := res.Finish.Seconds()
+		out.StringLenSweep = append(out.StringLenSweep, StringLenRow{
+			StrLen:    sl,
+			FPGASec:   t,
+			UsefulGBs: float64(PaperRows) * float64(sl) / t / 1e9,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the projection.
+func (r *NextGenResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Next-generation platform projection (§9) — 2.5M rows")
+	fmt.Fprintf(w, "  MonetDB reference: Q1 %.3fs, Q2 %.3fs\n", r.MonetDBQ1, r.MonetDBQ2)
+	fmt.Fprintf(w, "  %-34s %10s %10s %14s\n", "platform", "link GB/s", "query s", "vs MonetDB Q1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-34s %10.1f %10.4f %13.2fx\n",
+			row.Platform, row.LinkGBs, row.Q1Sec, row.Q1VsMonetDB)
+	}
+	fmt.Fprintln(w, "  string-length sweep (prototype link):")
+	fmt.Fprintf(w, "  %-8s %10s %12s\n", "strlen", "query s", "useful GB/s")
+	for _, row := range r.StringLenSweep {
+		fmt.Fprintf(w, "  %-8d %10.4f %12.2f\n", row.StrLen, row.FPGASec, row.UsefulGBs)
+	}
+	fmt.Fprintln(w, "  (short strings pay proportionally more offset+metadata overhead)")
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/memmodel"
+	"doppiodb/internal/workload"
+)
+
+// PlatformResult reproduces the §2.2 platform microbenchmarks: the CPU and
+// FPGA read bandwidths, the single-engine plateau, and the QPI saturation
+// point.
+type PlatformResult struct {
+	CPUReadGBs       float64 // CPU-side read bandwidth
+	QPIReadGBs       float64 // FPGA-side effective read bandwidth
+	SingleEngineGBs  float64 // one engine with switch stalls
+	TwoEngineGBs     float64 // latency hidden by a second engine
+	EnginePeakGBs    float64 // 16 PU x 400 MHz
+	AggregatePeakGBs float64 // 4 engines
+	NUMABandwidthGap float64 // CPU/QPI ratio — the §1 limitation note
+}
+
+// Platform runs the microbenchmarks on the memory model.
+func Platform(cfg Config) (*PlatformResult, error) {
+	params := memmodel.Default()
+	out := &PlatformResult{
+		CPUReadGBs:       params.CPUBandwidth / 1e9,
+		QPIReadGBs:       params.QPIBandwidth / 1e9,
+		EnginePeakGBs:    params.EngineBandwidth / 1e9,
+		AggregatePeakGBs: 4 * params.EngineBandwidth / 1e9,
+	}
+	out.NUMABandwidthGap = out.CPUReadGBs / out.QPIReadGBs
+
+	job := memmodel.JobForStrings(PaperRows, workload.DefaultStrLen,
+		bat.OffsetWidth, bat.EntryStride(workload.DefaultStrLen), 2)
+	one := memmodel.Simulate(params, [][]memmodel.Job{{job, job, job}})
+	out.SingleEngineGBs = float64(one.BytesMoved) / one.Finish.Seconds() / 1e9
+	two := memmodel.Simulate(params, [][]memmodel.Job{{job, job}, {job, job}})
+	out.TwoEngineGBs = float64(two.BytesMoved) / two.Finish.Seconds() / 1e9
+	return out, nil
+}
+
+// Render prints the microbenchmarks.
+func (r *PlatformResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Platform microbenchmarks (§2.2, §7.3)")
+	fmt.Fprintf(w, "  CPU read bandwidth:        %6.1f GB/s (paper: ~25, below the theoretical 59.7)\n", r.CPUReadGBs)
+	fmt.Fprintf(w, "  FPGA read over QPI:        %6.1f GB/s (paper: ~6.5)\n", r.QPIReadGBs)
+	fmt.Fprintf(w, "  one engine sustained:      %6.2f GB/s (paper: ~5.89; switch stalls)\n", r.SingleEngineGBs)
+	fmt.Fprintf(w, "  two engines sustained:     %6.2f GB/s (latency hidden, QPI-bound)\n", r.TwoEngineGBs)
+	fmt.Fprintf(w, "  engine processing peak:    %6.1f GB/s (16 PU x 400 MB/s)\n", r.EnginePeakGBs)
+	fmt.Fprintf(w, "  4-engine processing peak:  %6.1f GB/s (the paper's 25.6 headroom)\n", r.AggregatePeakGBs)
+	fmt.Fprintf(w, "  NUMA bandwidth gap:        %6.1fx (the §1 'NUMA bandwidth too low' limitation)\n", r.NUMABandwidthGap)
+}

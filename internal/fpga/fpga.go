@@ -1,0 +1,199 @@
+// Package fpga models the Altera Stratix V device of the Xeon+FPGA
+// prototype at the level the paper evaluates it (§7.9): how much logic and
+// BRAM a deployment consumes as a function of its engine count, PUs per
+// engine, character-matcher budget, and state-graph size — and whether the
+// routing tools can close timing for it.
+//
+// The model is analytic, fitted to the data points the paper publishes:
+// the QPI endpoint costs a constant 28 % of logic and 4 % of BRAM; the
+// arbitration and String Reader logic scale with the engine count; PU logic
+// is linear in characters and quadratic in states (the fully connected
+// state graph); the default 4×16 deployment lands at 80 % logic and 42 %
+// BRAM; five engines fit the area but fail routing (Fig. 14a); and halving
+// the PU clock roughly doubles the feasible states×chars space (Fig. 15).
+package fpga
+
+import (
+	"errors"
+	"fmt"
+
+	"doppiodb/internal/config"
+	"doppiodb/internal/sim"
+)
+
+// Deployment describes one synthesized bitstream configuration. The
+// parameters are fixed at synthesis time; everything else about a query is
+// runtime-parameterizable (§6.1).
+type Deployment struct {
+	// Engines is the number of Regex Engines (1..5 explored).
+	Engines int
+	// PUsPerEngine is the Processing Unit count per engine (16 default).
+	PUsPerEngine int
+	// Limits is the per-PU expression capacity (states, characters).
+	Limits config.Limits
+	// PUClock is the Processing Unit clock (400 MHz default; 200 MHz
+	// trades throughput for a larger state graph, Fig. 15).
+	PUClock sim.Clock
+	// FabricClock is the QPI endpoint / String Reader clock (200 MHz).
+	FabricClock sim.Clock
+	// CollationWays is the number of extra comparison registers per
+	// character matcher for case-insensitive or accent collations
+	// (§6.4); 1 means one extra register (the default build).
+	CollationWays int
+}
+
+// DefaultDeployment is the evaluation configuration: four engines of 16 PUs
+// at 400 MHz, 16 states and 32 characters per expression.
+func DefaultDeployment() Deployment {
+	return Deployment{
+		Engines:       4,
+		PUsPerEngine:  16,
+		Limits:        config.DefaultLimits,
+		PUClock:       sim.PUClock,
+		FabricClock:   sim.FabricClock,
+		CollationWays: 1,
+	}
+}
+
+// Validate checks structural sanity (not resources or timing).
+func (d Deployment) Validate() error {
+	switch {
+	case d.Engines < 1:
+		return errors.New("fpga: need at least one engine")
+	case d.PUsPerEngine < 1:
+		return errors.New("fpga: need at least one PU per engine")
+	case d.Limits.MaxStates < 2:
+		return errors.New("fpga: need at least two states")
+	case d.Limits.MaxChars < 1:
+		return errors.New("fpga: need at least one character matcher")
+	case d.PUClock.HZ <= 0 || d.FabricClock.HZ <= 0:
+		return errors.New("fpga: clocks must be positive")
+	}
+	return nil
+}
+
+// EngineBandwidth returns one engine's consumption rate: each PU eats one
+// byte per PU cycle.
+func (d Deployment) EngineBandwidth() float64 {
+	return float64(d.PUsPerEngine) * float64(d.PUClock.HZ)
+}
+
+// AggregateBandwidth returns the deployment's total processing capacity
+// (the 25.6 GB/s "capacity" line of Figure 8 for 4×16 at 400 MHz).
+func (d Deployment) AggregateBandwidth() float64 {
+	return float64(d.Engines) * d.EngineBandwidth()
+}
+
+// Usage is a synthesis resource report in percent of the device.
+type Usage struct {
+	// Logic breakdown, percent of device ALMs.
+	QPIEndpoint float64
+	Arbitration float64 // arbiter + String Readers, scales with engines
+	PUs         float64 // all processing units
+	LogicTotal  float64
+	// BRAM, percent of device block RAM.
+	BRAMTotal float64
+}
+
+// Model constants, fitted to Fig. 14's published points (see package doc).
+const (
+	qpiLogicPct    = 28.0
+	qpiBRAMPct     = 4.0
+	engLogicPct    = 1.5      // arbitration + String Reader per engine
+	engBRAMPct     = 9.5      // FIFOs + config storage per engine
+	puBasePct      = 0.1      // fixed per-PU overhead
+	puCharPct      = 0.005672 // per character-matcher register per collation way
+	puStatePct     = 0.001    // per state², the fully connected graph
+	deviceArea     = 100.0
+	routingCeiling = 91.5 // above this, the router cannot close timing
+)
+
+// Resources estimates the synthesis report for d.
+func (d Deployment) Resources() Usage {
+	pus := float64(d.Engines * d.PUsPerEngine)
+	perPU := puBasePct +
+		puCharPct*float64(d.Limits.MaxChars)*float64(1+d.CollationWays) +
+		puStatePct*float64(d.Limits.MaxStates)*float64(d.Limits.MaxStates)
+	u := Usage{
+		QPIEndpoint: qpiLogicPct,
+		Arbitration: engLogicPct * float64(d.Engines),
+		PUs:         pus * perPU,
+	}
+	u.LogicTotal = u.QPIEndpoint + u.Arbitration + u.PUs
+	u.BRAMTotal = qpiBRAMPct + engBRAMPct*float64(d.Engines)
+	return u
+}
+
+// Timing-model constants: the critical path through the fully connected
+// state graph must settle within one PU clock period. Fitted to Fig. 15's
+// 200 vs 400 MHz frontiers.
+const (
+	delayBaseNS      = 0.70 // routing + matcher mux base delay
+	delayPerStateNS  = 0.09 // per state of fan-in on the graph
+	delayPerChar16NS = 0.10 // per 16 character matchers of chain routing
+)
+
+// CriticalPath returns the modelled state-graph settle time.
+func (d Deployment) CriticalPath() sim.Time {
+	ns := delayBaseNS +
+		delayPerStateNS*float64(d.Limits.MaxStates) +
+		delayPerChar16NS*float64(d.Limits.MaxChars)/16.0
+	return sim.Time(ns * float64(sim.Nanosecond))
+}
+
+// Synthesis errors.
+var (
+	// ErrOverCapacity means the configuration does not fit the device.
+	ErrOverCapacity = errors.New("fpga: configuration exceeds device logic resources")
+	// ErrTimingViolated means the router cannot meet the clock target —
+	// either the device is too full (Fig. 14a's 5×16 case) or the state
+	// graph is too large for the PU clock (Fig. 15's frontier).
+	ErrTimingViolated = errors.New("fpga: timing requirements not met")
+)
+
+// Synthesize checks whether d fits the device and closes timing, mirroring
+// what the vendor tool chain decides. The returned Usage is valid even on
+// error.
+func Synthesize(d Deployment) (Usage, error) {
+	u := d.Resources()
+	if err := d.Validate(); err != nil {
+		return u, err
+	}
+	if u.LogicTotal > deviceArea {
+		return u, ErrOverCapacity
+	}
+	if u.LogicTotal > routingCeiling {
+		// The area fits but routing congestion kills timing — the
+		// paper's five-engine observation.
+		return u, ErrTimingViolated
+	}
+	if d.CriticalPath() > d.PUClock.Period() {
+		return u, ErrTimingViolated
+	}
+	return u, nil
+}
+
+// Device is a programmed FPGA: a deployment that passed synthesis plus the
+// runtime constants the rest of the simulator needs. It corresponds to the
+// bitstream loaded at system start; it is never reprogrammed per query.
+type Device struct {
+	Deployment Deployment
+	Usage      Usage
+}
+
+// NewDevice synthesizes and "programs" a deployment.
+func NewDevice(d Deployment) (*Device, error) {
+	u, err := Synthesize(d)
+	if err != nil {
+		return nil, fmt.Errorf("fpga: cannot program device: %w", err)
+	}
+	return &Device{Deployment: d, Usage: u}, nil
+}
+
+// String summarizes the device.
+func (dev *Device) String() string {
+	d := dev.Deployment
+	return fmt.Sprintf("FPGA{%dx%d PUs @%s, %d states/%d chars, logic %.1f%%, BRAM %.1f%%}",
+		d.Engines, d.PUsPerEngine, d.PUClock, d.Limits.MaxStates,
+		d.Limits.MaxChars, dev.Usage.LogicTotal, dev.Usage.BRAMTotal)
+}

@@ -1,0 +1,197 @@
+package fpga
+
+import (
+	"testing"
+
+	"doppiodb/internal/config"
+	"doppiodb/internal/sim"
+)
+
+func dep(engines, pus, states, chars int, puHZ int64) Deployment {
+	d := DefaultDeployment()
+	d.Engines = engines
+	d.PUsPerEngine = pus
+	d.Limits = config.Limits{MaxStates: states, MaxChars: chars}
+	d.PUClock = sim.Clock{HZ: puHZ}
+	return d
+}
+
+func TestDefaultDeploymentMatchesPaper(t *testing.T) {
+	d := DefaultDeployment()
+	u, err := Synthesize(d)
+	if err != nil {
+		t.Fatalf("default deployment must synthesize: %v", err)
+	}
+	// §7.9: "Our default configuration ... using 80% of the available
+	// logic resources"; QPI endpoint 28% logic / 4% BRAM; BRAM constant
+	// at 42%.
+	if u.LogicTotal < 78 || u.LogicTotal > 82 {
+		t.Errorf("default logic = %.1f%%, want ~80%%", u.LogicTotal)
+	}
+	if u.QPIEndpoint != 28.0 {
+		t.Errorf("QPI endpoint = %.1f%%, want 28%%", u.QPIEndpoint)
+	}
+	if u.BRAMTotal < 41 || u.BRAMTotal > 43 {
+		t.Errorf("BRAM = %.1f%%, want ~42%%", u.BRAMTotal)
+	}
+	if got := d.AggregateBandwidth(); got != 25.6e9 {
+		t.Errorf("aggregate bandwidth = %g, want 25.6 GB/s", got)
+	}
+	if got := d.EngineBandwidth(); got != 6.4e9 {
+		t.Errorf("engine bandwidth = %g, want 6.4 GB/s", got)
+	}
+}
+
+func TestFiveEnginesFailRouting(t *testing.T) {
+	// Fig. 14a: five engines fit the area but the router cannot meet
+	// timing.
+	d := dep(5, 16, 16, 32, 400_000_000)
+	u, err := Synthesize(d)
+	if err != ErrTimingViolated {
+		t.Fatalf("5x16: err = %v, want ErrTimingViolated", err)
+	}
+	if u.LogicTotal > 100 {
+		t.Errorf("5x16 should fit the area (%.1f%%)", u.LogicTotal)
+	}
+}
+
+func TestAlternativeConfigurations(t *testing.T) {
+	// §7.9's alternatives to 4×16: 2×32 and 1×64 both synthesize.
+	for _, d := range []Deployment{
+		dep(2, 32, 16, 32, 400_000_000),
+		dep(1, 64, 16, 32, 400_000_000),
+		dep(1, 16, 16, 32, 400_000_000),
+		dep(2, 16, 16, 32, 400_000_000),
+		dep(3, 16, 16, 32, 400_000_000),
+	} {
+		if _, err := Synthesize(d); err != nil {
+			t.Errorf("%dx%d: %v", d.Engines, d.PUsPerEngine, err)
+		}
+	}
+}
+
+func TestCharScalingLinear(t *testing.T) {
+	// Fig. 14b: 4×16 with 8 states, chars 16..64: linear logic growth,
+	// all configurations fit; BRAM constant.
+	var prev Usage
+	var deltas []float64
+	for chars := 16; chars <= 64; chars += 16 {
+		d := dep(4, 16, 8, chars, 400_000_000)
+		u := d.Resources()
+		if u.LogicTotal > 100 {
+			t.Errorf("4x16 %d chars does not fit: %.1f%%", chars, u.LogicTotal)
+		}
+		if chars > 16 {
+			deltas = append(deltas, u.LogicTotal-prev.LogicTotal)
+			if u.BRAMTotal != prev.BRAMTotal {
+				t.Errorf("BRAM changed with chars: %.1f vs %.1f", u.BRAMTotal, prev.BRAMTotal)
+			}
+		}
+		prev = u
+	}
+	for i := 1; i < len(deltas); i++ {
+		if diff := deltas[i] - deltas[0]; diff > 0.01 || diff < -0.01 {
+			t.Errorf("char scaling not linear: deltas %v", deltas)
+		}
+	}
+}
+
+func TestStateScalingQuadratic(t *testing.T) {
+	// Fig. 14c: state growth is quadratic — doubling states from 8 to 16
+	// must cost more than twice the 8-state graph increment.
+	base := dep(4, 16, 2, 16, 400_000_000).Resources().LogicTotal
+	at8 := dep(4, 16, 8, 16, 400_000_000).Resources().LogicTotal
+	at16 := dep(4, 16, 16, 16, 400_000_000).Resources().LogicTotal
+	grow8 := at8 - base
+	grow16 := at16 - base
+	if grow16 < 3*grow8 {
+		t.Errorf("state cost not quadratic: +%.2f at 8, +%.2f at 16", grow8, grow16)
+	}
+}
+
+func TestFrequencyComplexityTradeoff(t *testing.T) {
+	// Fig. 15 (2×16 deployment): halving the PU clock significantly
+	// enlarges the feasible states×chars space.
+	feasible := func(hz int64) int {
+		n := 0
+		for states := 8; states <= 32; states += 4 {
+			for chars := 16; chars <= 64; chars += 16 {
+				d := dep(2, 16, states, chars, hz)
+				if _, err := Synthesize(d); err == nil {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	f400 := feasible(400_000_000)
+	f200 := feasible(200_000_000)
+	if f400 == 0 {
+		t.Fatal("no feasible configuration at 400 MHz")
+	}
+	if f200 < 2*f400 {
+		t.Errorf("200 MHz space (%d) not ≫ 400 MHz space (%d)", f200, f400)
+	}
+	// The default 16-state/32-char point must close timing at 400 MHz.
+	if _, err := Synthesize(dep(2, 16, 16, 32, 400_000_000)); err != nil {
+		t.Errorf("16 states/32 chars at 400 MHz: %v", err)
+	}
+	// A 32-state graph must not close timing at 400 MHz but must at 200.
+	if _, err := Synthesize(dep(2, 16, 32, 16, 400_000_000)); err != ErrTimingViolated {
+		t.Errorf("32 states at 400 MHz: err = %v, want timing violation", err)
+	}
+	if _, err := Synthesize(dep(2, 16, 32, 16, 200_000_000)); err != nil {
+		t.Errorf("32 states at 200 MHz: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Deployment{
+		dep(0, 16, 16, 32, 400_000_000),
+		dep(4, 0, 16, 32, 400_000_000),
+		dep(4, 16, 1, 32, 400_000_000),
+		dep(4, 16, 16, 0, 400_000_000),
+		dep(4, 16, 16, 32, 0),
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad deployment", i)
+		}
+	}
+	if err := DefaultDeployment().Validate(); err != nil {
+		t.Errorf("default: %v", err)
+	}
+}
+
+func TestNewDevice(t *testing.T) {
+	dev, err := NewDevice(DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := NewDevice(dep(5, 16, 16, 32, 400_000_000)); err == nil {
+		t.Error("5x16 device should not program")
+	}
+}
+
+func TestMonotonicResourcesProperty(t *testing.T) {
+	// More engines, states or chars never reduces usage.
+	prevLogic := 0.0
+	for engines := 1; engines <= 5; engines++ {
+		u := dep(engines, 16, 16, 32, 400_000_000).Resources()
+		if u.LogicTotal <= prevLogic {
+			t.Errorf("logic not monotonic in engines at %d", engines)
+		}
+		prevLogic = u.LogicTotal
+	}
+	prevLogic = 0
+	for states := 2; states <= 32; states *= 2 {
+		u := dep(2, 16, states, 32, 400_000_000).Resources()
+		if u.LogicTotal <= prevLogic {
+			t.Errorf("logic not monotonic in states at %d", states)
+		}
+		prevLogic = u.LogicTotal
+	}
+}

@@ -1,0 +1,113 @@
+package fpga
+
+import (
+	"errors"
+	"fmt"
+
+	"doppiodb/internal/sim"
+)
+
+// Partial reconfiguration (§9): "Combined with partial reconfiguration of
+// the FPGA, the database engine could deploy multiple different hardware
+// operators at runtime according to characteristics of the current
+// workload." This file models that future system: the fabric is split into
+// operator slots (each the size of one Regex Engine region) that can be
+// re-flashed with a different operator bitstream at runtime, at a cost —
+// unlike the runtime parametrization of the regex engines, which is free.
+
+// OperatorKind identifies a hardware operator type. The alternatives come
+// from the related work the paper surveys (§8.4).
+type OperatorKind int
+
+// Operator kinds.
+const (
+	// OpRegex is the paper's regular-expression engine.
+	OpRegex OperatorKind = iota
+	// OpSelection is predicate evaluation ([31, 23]).
+	OpSelection
+	// OpAggregation is group-by aggregation ([5]).
+	OpAggregation
+	// OpHistogram is histogram building ([14]).
+	OpHistogram
+)
+
+var operatorNames = [...]string{"regex", "selection", "aggregation", "histogram"}
+
+func (k OperatorKind) String() string {
+	if int(k) < len(operatorNames) {
+		return operatorNames[k]
+	}
+	return fmt.Sprintf("operator(%d)", int(k))
+}
+
+// PartialReconfigTime is the cost of re-flashing one partial region.
+// Stratix-V-class partial bitstreams of an engine-sized region take on the
+// order of a hundred milliseconds to load.
+const PartialReconfigTime = 100 * sim.Millisecond
+
+// ReconfigurableDevice is a programmed device whose engine regions are
+// independent partial-reconfiguration slots.
+type ReconfigurableDevice struct {
+	*Device
+	slots []OperatorKind
+	// Reconfigurations counts slot re-flashes (for tests and stats).
+	Reconfigurations int
+}
+
+// NewReconfigurableDevice programs the deployment with every slot holding
+// the regex operator (the paper's configuration).
+func NewReconfigurableDevice(dep Deployment) (*ReconfigurableDevice, error) {
+	dev, err := NewDevice(dep)
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]OperatorKind, dep.Engines)
+	for i := range slots {
+		slots[i] = OpRegex
+	}
+	return &ReconfigurableDevice{Device: dev, slots: slots}, nil
+}
+
+// ErrBadSlot reports a slot index outside the deployment.
+var ErrBadSlot = errors.New("fpga: no such operator slot")
+
+// Slots returns the current operator of each slot.
+func (d *ReconfigurableDevice) Slots() []OperatorKind {
+	out := make([]OperatorKind, len(d.slots))
+	copy(out, d.slots)
+	return out
+}
+
+// SlotsOf counts the slots currently holding kind.
+func (d *ReconfigurableDevice) SlotsOf(kind OperatorKind) int {
+	n := 0
+	for _, k := range d.slots {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reconfigure re-flashes one slot with a different operator and returns the
+// simulated reconfiguration time (zero if the slot already holds the
+// operator — switching *expressions* within the regex operator never needs
+// reconfiguration, which is the paper's core point).
+func (d *ReconfigurableDevice) Reconfigure(slot int, kind OperatorKind) (sim.Time, error) {
+	if slot < 0 || slot >= len(d.slots) {
+		return 0, ErrBadSlot
+	}
+	if d.slots[slot] == kind {
+		return 0, nil
+	}
+	d.slots[slot] = kind
+	d.Reconfigurations++
+	return PartialReconfigTime, nil
+}
+
+// WorthReconfiguring is the planner-side rule of thumb: re-flashing a slot
+// for an operator pays off when the hardware saving over the remaining
+// software plan exceeds the reconfiguration cost.
+func WorthReconfiguring(swTime, hwTime sim.Time) bool {
+	return swTime-hwTime > PartialReconfigTime
+}

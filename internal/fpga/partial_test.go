@@ -1,0 +1,66 @@
+package fpga
+
+import (
+	"testing"
+
+	"doppiodb/internal/sim"
+)
+
+func TestReconfigurableDevice(t *testing.T) {
+	d, err := NewReconfigurableDevice(DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SlotsOf(OpRegex); got != 4 {
+		t.Fatalf("initial regex slots = %d, want 4", got)
+	}
+	// Re-flashing to the same operator is free: runtime parametrization
+	// covers new expressions (§6.1).
+	cost, err := d.Reconfigure(0, OpRegex)
+	if err != nil || cost != 0 {
+		t.Errorf("same-operator reconfig: %v %v", cost, err)
+	}
+	if d.Reconfigurations != 0 {
+		t.Error("no-op reconfig counted")
+	}
+	// Swapping one slot to aggregation costs a partial reconfiguration.
+	cost, err = d.Reconfigure(3, OpAggregation)
+	if err != nil || cost != PartialReconfigTime {
+		t.Errorf("reconfig cost %v, err %v", cost, err)
+	}
+	if d.SlotsOf(OpRegex) != 3 || d.SlotsOf(OpAggregation) != 1 {
+		t.Errorf("slots after reconfig: %v", d.Slots())
+	}
+	if d.Reconfigurations != 1 {
+		t.Errorf("Reconfigurations = %d", d.Reconfigurations)
+	}
+	if _, err := d.Reconfigure(7, OpHistogram); err != ErrBadSlot {
+		t.Errorf("bad slot err = %v", err)
+	}
+	// Mutating the returned slice must not touch device state.
+	s := d.Slots()
+	s[0] = OpHistogram
+	if d.SlotsOf(OpHistogram) != 0 {
+		t.Error("Slots() leaked internal state")
+	}
+}
+
+func TestWorthReconfiguring(t *testing.T) {
+	// A 4.5s software aggregation vs 0.03s hardware: re-flash (saves
+	// ≫100ms). A 120ms software plan vs 30ms hardware: keep in software.
+	if !WorthReconfiguring(4500*sim.Millisecond, 30*sim.Millisecond) {
+		t.Error("large saving should justify reconfiguration")
+	}
+	if WorthReconfiguring(120*sim.Millisecond, 30*sim.Millisecond) {
+		t.Error("90ms saving cannot pay a 100ms reconfiguration")
+	}
+}
+
+func TestOperatorKindString(t *testing.T) {
+	if OpRegex.String() != "regex" || OpAggregation.String() != "aggregation" {
+		t.Error("kind names")
+	}
+	if OperatorKind(42).String() == "" {
+		t.Error("unknown kind")
+	}
+}

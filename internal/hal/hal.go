@@ -1,0 +1,299 @@
+// Package hal implements the Hardware Operator Abstraction Layer of §4.2:
+// the software library the HUDF calls to create, execute and monitor FPGA
+// jobs, and the hardware-side Job Distributor that hands queued jobs to
+// idle Regex Engines.
+//
+// All control structures live in the CPU-FPGA shared memory region, as on
+// the prototype: the Device Status Memory page used for the AAL handshake,
+// the job queue, and per-job parameter and status blocks. The status block
+// carries the done bit the UDF busy-waits on (the platform has no
+// FPGA-to-CPU interrupts) plus the execution statistics the engine reports.
+//
+// Functional execution happens synchronously at submit time; *timing* is
+// accumulated as memory-model jobs per engine and resolved by Drain, which
+// runs the deterministic QPI simulation and stamps every job's completion
+// time.
+package hal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"doppiodb/internal/engine"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/memmodel"
+	"doppiodb/internal/shmem"
+	"doppiodb/internal/sim"
+)
+
+// Control-block layout constants.
+const (
+	blockSize  = 64 // one cache line per control structure
+	queueSlots = 4096
+
+	dsmMagic = 0x4841_4C31 // "HAL1"
+	afuID    = 0xD0BB_10DB // the regex AFU's identity
+)
+
+// Modelled software/hardware overheads (§7.4's breakdown).
+const (
+	// CreateTime is the software cost of allocating and populating the
+	// parameter and status structures and enqueueing the descriptor.
+	CreateTime = 15 * sim.Microsecond
+	// ParametrizeTime is the hardware cost of loading the job parameters
+	// and configuring a Regex Engine's PUs: "takes around 300 ns".
+	ParametrizeTime = 300 * sim.Nanosecond
+)
+
+// Errors.
+var (
+	ErrQueueFull  = errors.New("hal: job queue full")
+	ErrBadEngine  = errors.New("hal: no such engine")
+	ErrNotDrained = errors.New("hal: job timing not resolved yet; call Drain")
+)
+
+// Job is a submitted FPGA job handle.
+type Job struct {
+	Engine int          // engine the distributor picked
+	Stats  engine.Stats // functional execution result
+	Timing memmodel.Job // data volume for the timing simulation
+
+	statusAddr shmem.Addr
+	poolOff    uint32
+	region     *shmem.Region
+	completed  sim.Time
+	drained    bool
+}
+
+// Done reads the done bit from the status block in shared memory — the bit
+// the UDF busy-waits on (§4.2.2 step 8).
+func (j *Job) Done() bool {
+	buf, err := j.region.Bytes(j.statusAddr)
+	if err != nil {
+		return false
+	}
+	return buf[j.blockOffset()] != 0
+}
+
+// Completion returns the simulated completion time of the job relative to
+// the batch start. Valid after Drain.
+func (j *Job) Completion() (sim.Time, error) {
+	if !j.drained {
+		return 0, ErrNotDrained
+	}
+	return j.completed, nil
+}
+
+// blockOffset is the job's status block offset inside the pool slab.
+func (j *Job) blockOffset() int { return int(j.poolOff) }
+
+// HAL is the abstraction layer instance bound to one programmed device.
+type HAL struct {
+	region  *shmem.Region
+	dev     *fpga.Device
+	engines []*engine.Engine
+	params  memmodel.Params
+
+	mu        sync.Mutex
+	queues    [][]memmodel.Job
+	jobs      [][]*Job
+	dsmAddr   shmem.Addr
+	poolAddr  shmem.Addr
+	poolNext  int
+	queueAddr shmem.Addr
+	queueLen  int
+}
+
+// New boots the HAL: it performs the AAL handshake (allocating the DSM page
+// and verifying the AFU identity), allocates the shared-memory job queue,
+// and instantiates the engine frontends.
+func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
+	if region == nil || dev == nil {
+		return nil, errors.New("hal: need a shared region and a programmed device")
+	}
+	h := &HAL{
+		region: region,
+		dev:    dev,
+		params: memmodel.Default(),
+	}
+	h.params.EngineBandwidth = dev.Deployment.EngineBandwidth()
+	for i := 0; i < dev.Deployment.Engines; i++ {
+		h.engines = append(h.engines, engine.New(dev, i))
+	}
+	h.queues = make([][]memmodel.Job, len(h.engines))
+	h.jobs = make([][]*Job, len(h.engines))
+
+	var err error
+	if h.dsmAddr, err = region.Alloc(shmem.MinSlab); err != nil {
+		return nil, fmt.Errorf("hal: DSM allocation: %w", err)
+	}
+	if h.poolAddr, err = region.Alloc(shmem.MinSlab); err != nil {
+		return nil, fmt.Errorf("hal: status pool allocation: %w", err)
+	}
+	if h.queueAddr, err = region.Alloc(queueSlots * blockSize); err != nil {
+		return nil, fmt.Errorf("hal: job queue allocation: %w", err)
+	}
+	// AAL handshake: software writes its magic into the DSM; the "AFU"
+	// answers with its ID. Both sides then agree the right bitstream is
+	// loaded (§2.2).
+	dsm, err := region.Bytes(h.dsmAddr)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(dsm[0:], dsmMagic)
+	binary.LittleEndian.PutUint32(dsm[4:], afuID)
+	return h, nil
+}
+
+// Device returns the programmed device.
+func (h *HAL) Device() *fpga.Device { return h.dev }
+
+// Engines returns the engine count.
+func (h *HAL) Engines() int { return len(h.engines) }
+
+// AFUPresent re-checks the handshake result.
+func (h *HAL) AFUPresent() bool {
+	dsm, err := h.region.Bytes(h.dsmAddr)
+	if err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint32(dsm[0:]) == dsmMagic &&
+		binary.LittleEndian.Uint32(dsm[4:]) == afuID
+}
+
+// Submit enqueues a job and lets the Job Distributor assign it to the
+// least-loaded engine, executing it functionally. The returned handle's
+// done bit is set in shared memory; its timing is resolved by Drain.
+func (h *HAL) Submit(p engine.JobParams) (*Job, error) {
+	h.mu.Lock()
+	target := h.leastLoadedLocked()
+	h.mu.Unlock()
+	return h.SubmitTo(target, p)
+}
+
+// SubmitTo enqueues a job for a specific engine (partitioned execution
+// pins each partition to its own engine).
+func (h *HAL) SubmitTo(engineID int, p engine.JobParams) (*Job, error) {
+	if engineID < 0 || engineID >= len(h.engines) {
+		return nil, ErrBadEngine
+	}
+	st, err := h.engines[engineID].Execute(p)
+	if err != nil {
+		return nil, err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.queueLen >= queueSlots {
+		return nil, ErrQueueFull
+	}
+	statusAddr, off, err := h.allocBlockLocked()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		Engine:     engineID,
+		Stats:      st,
+		Timing:     engine.TimingJob(p, st),
+		statusAddr: statusAddr,
+		poolOff:    off,
+		region:     h.region,
+	}
+	// Write the job descriptor into the shared-memory queue and the
+	// status block (done bit + statistics), as the engine would.
+	q, err := h.region.Bytes(h.queueAddr)
+	if err != nil {
+		return nil, err
+	}
+	slot := q[h.queueLen*blockSize:]
+	binary.LittleEndian.PutUint64(slot[0:], uint64(statusAddr))
+	binary.LittleEndian.PutUint32(slot[8:], uint32(engineID))
+	binary.LittleEndian.PutUint32(slot[12:], uint32(st.Strings))
+	h.queueLen++
+
+	pool, err := h.region.Bytes(h.poolAddr)
+	if err != nil {
+		return nil, err
+	}
+	blk := pool[off:]
+	blk[0] = 1 // done bit
+	binary.LittleEndian.PutUint32(blk[4:], uint32(st.Strings))
+	binary.LittleEndian.PutUint32(blk[8:], uint32(st.Matches))
+	binary.LittleEndian.PutUint64(blk[12:], uint64(st.HeapBytes))
+
+	h.queues[engineID] = append(h.queues[engineID], j.Timing)
+	h.jobs[engineID] = append(h.jobs[engineID], j)
+	return j, nil
+}
+
+// leastLoadedLocked picks the engine with the smallest queued volume — the
+// Job Distributor's "next available Regex Engine" policy.
+func (h *HAL) leastLoadedLocked() int {
+	best, bestVol := 0, int64(-1)
+	for i, q := range h.queues {
+		var vol int64
+		for _, j := range q {
+			vol += int64(j.TotalBytes())
+		}
+		if bestVol < 0 || vol < bestVol {
+			best, bestVol = i, vol
+		}
+	}
+	return best
+}
+
+// allocBlockLocked hands out a 64-byte status block from the pool slab.
+func (h *HAL) allocBlockLocked() (shmem.Addr, uint32, error) {
+	if (h.poolNext+1)*blockSize > shmem.MinSlab {
+		// Pool exhausted: start a fresh slab.
+		a, err := h.region.Alloc(shmem.MinSlab)
+		if err != nil {
+			return 0, 0, err
+		}
+		h.poolAddr = a
+		h.poolNext = 0
+	}
+	off := uint32(h.poolNext * blockSize)
+	h.poolNext++
+	return h.poolAddr, off, nil
+}
+
+// Drain runs the deterministic QPI/engine timing simulation over every job
+// submitted since the last Drain, stamps each job's completion time
+// (including the HAL's fixed overheads), clears the queues, and returns the
+// simulation result.
+func (h *HAL) Drain() memmodel.Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	res := memmodel.Simulate(h.params, h.queues)
+	for e := range h.jobs {
+		for k, j := range h.jobs[e] {
+			j.completed = res.Done[e][k] + ParametrizeTime
+			j.drained = true
+		}
+	}
+	h.queues = make([][]memmodel.Job, len(h.engines))
+	h.jobs = make([][]*Job, len(h.engines))
+	h.queueLen = 0
+	return res
+}
+
+// Params exposes the memory-model parameters (tests tweak them).
+func (h *HAL) Params() *memmodel.Params { return &h.params }
+
+// QueuedBytes returns the total data volume of jobs awaiting timing
+// resolution — the FPGA's "current load", which §9 notes a stock UDF
+// interface cannot expose to the query optimizer.
+func (h *HAL) QueuedBytes() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total int64
+	for _, q := range h.queues {
+		for _, j := range q {
+			total += int64(j.TotalBytes())
+		}
+	}
+	return total
+}

@@ -1,0 +1,285 @@
+package hal
+
+import (
+	"fmt"
+	"testing"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/config"
+	"doppiodb/internal/engine"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/shmem"
+	"doppiodb/internal/token"
+)
+
+func newHAL(t *testing.T) (*HAL, *shmem.Region) {
+	t.Helper()
+	region := shmem.NewRegion(1 << 30)
+	dev, err := fpga.NewDevice(fpga.DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(region, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, region
+}
+
+func buildParams(t *testing.T, region *shmem.Region, pattern string, rows []string) (engine.JobParams, *bat.Strings, *bat.Shorts) {
+	t.Helper()
+	prog, err := token.CompilePattern(pattern, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := config.Encode(prog, config.DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := bat.NewStrings(region, len(rows), len(rows)*80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := col.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := bat.NewShorts(region, len(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.SetLen(len(rows)); err != nil {
+		t.Fatal(err)
+	}
+	return engine.JobParams{
+		Config:      vec,
+		Offsets:     col.OffsetBytes(),
+		OffsetWidth: bat.OffsetWidth,
+		Heap:        col.HeapBytes(),
+		Count:       col.Count(),
+		Result:      res.Bytes(),
+	}, col, res
+}
+
+func TestHandshake(t *testing.T) {
+	h, _ := newHAL(t)
+	if !h.AFUPresent() {
+		t.Error("AFU handshake failed")
+	}
+	if h.Engines() != 4 {
+		t.Errorf("Engines = %d", h.Engines())
+	}
+}
+
+func TestSubmitExecutesAndSetsDoneBit(t *testing.T) {
+	h, region := newHAL(t)
+	rows := []string{
+		"John|Smith|44 Koblenzer Strasse|60327|Frankfurt",
+		"Anna|Miller|9 Lindenweg|80331|Muenchen",
+		"Hans|Maier|3 Bahnhofstrasse|8004|Zuerich",
+	}
+	p, _, res := buildParams(t, region, `Strasse`, rows)
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done() {
+		t.Error("done bit not set in shared memory")
+	}
+	if j.Stats.Strings != 3 || j.Stats.Matches != 1 {
+		t.Errorf("stats: %+v", j.Stats)
+	}
+	// Result BAT: nonzero only for the matching row, value = position of
+	// the match's last character.
+	if got := res.Get(0); got != 31 {
+		t.Errorf("result[0] = %d, want 31", got)
+	}
+	if res.Get(1) != 0 || res.Get(2) != 0 {
+		t.Errorf("non-matching rows: %d %d", res.Get(1), res.Get(2))
+	}
+	if _, err := j.Completion(); err != ErrNotDrained {
+		t.Errorf("Completion before Drain: %v", err)
+	}
+	h.Drain()
+	c, err := j.Completion()
+	if err != nil || c <= 0 {
+		t.Errorf("Completion after Drain: %v %v", c, err)
+	}
+}
+
+func TestDistributorBalances(t *testing.T) {
+	h, region := newHAL(t)
+	rows := make([]string, 64)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("row %d with some Strasse text", i)
+	}
+	p, _, _ := buildParams(t, region, `Strasse`, rows)
+	seen := map[int]int{}
+	for i := 0; i < 8; i++ {
+		j, err := h.Submit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[j.Engine]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("jobs not spread over engines: %v", seen)
+	}
+	for e, n := range seen {
+		if n != 2 {
+			t.Errorf("engine %d got %d jobs", e, n)
+		}
+	}
+}
+
+func TestSubmitToPartitioned(t *testing.T) {
+	h, region := newHAL(t)
+	rows := make([]string, 40)
+	for i := range rows {
+		s := "no match here"
+		if i%4 == 0 {
+			s = "Koblenzer Strasse"
+		}
+		rows[i] = s
+	}
+	p, _, res := buildParams(t, region, `Strasse`, rows)
+	// Partition by row ranges across the four engines.
+	per := len(rows) / 4
+	var jobs []*Job
+	for e := 0; e < 4; e++ {
+		part := p
+		part.Offsets = p.Offsets[e*per*4 : (e+1)*per*4]
+		part.Count = per
+		part.Result = p.Result[e*per*2 : (e+1)*per*2]
+		j, err := h.SubmitTo(e, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	h.Drain()
+	total := 0
+	for _, j := range jobs {
+		total += j.Stats.Matches
+		if c, err := j.Completion(); err != nil || c <= 0 {
+			t.Errorf("partition completion: %v %v", c, err)
+		}
+	}
+	if total != 10 {
+		t.Errorf("partitioned matches = %d, want 10", total)
+	}
+	for i := range rows {
+		want := uint16(0)
+		if i%4 == 0 {
+			want = 17
+		}
+		if got := res.Get(i); got != want {
+			t.Errorf("row %d result = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := h.SubmitTo(9, p); err != ErrBadEngine {
+		t.Errorf("bad engine err = %v", err)
+	}
+}
+
+func TestCapacityErrorSurfaces(t *testing.T) {
+	h, region := newHAL(t)
+	// An expression over the deployed state budget must be rejected at
+	// submit (the HUDF then falls back to hybrid execution).
+	long := ""
+	for i := 0; i < 20; i++ {
+		long += fmt.Sprintf("(t%d)|", i)
+	}
+	long += "(zz)"
+	p, _, _ := buildParams(t, region, `Strasse`, []string{"x"})
+	prog, err := token.CompilePattern(long, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := config.Encode(prog, config.Limits{MaxStates: 64, MaxChars: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Config = vec
+	if _, err := h.Submit(p); err == nil {
+		t.Error("over-capacity expression accepted")
+	}
+}
+
+func TestDrainResetsQueues(t *testing.T) {
+	h, region := newHAL(t)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	for i := 0; i < 5; i++ {
+		if _, err := h.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1 := h.Drain()
+	if r1.Finish <= 0 {
+		t.Error("first drain made no progress")
+	}
+	r2 := h.Drain()
+	if r2.Finish != 0 {
+		t.Error("second drain should be empty")
+	}
+}
+
+func TestAccessorsAndQueuedBytes(t *testing.T) {
+	h, region := newHAL(t)
+	if h.Device() == nil {
+		t.Error("Device() nil")
+	}
+	if h.Params() == nil || h.Params().QPIBandwidth != 6.5e9 {
+		t.Error("Params() wrong")
+	}
+	if h.QueuedBytes() != 0 {
+		t.Error("fresh HAL has queued bytes")
+	}
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz", "abc"})
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.QueuedBytes(); got != int64(j.Timing.TotalBytes()) {
+		t.Errorf("QueuedBytes = %d, want %d", got, j.Timing.TotalBytes())
+	}
+	h.Drain()
+	if h.QueuedBytes() != 0 {
+		t.Error("QueuedBytes after drain")
+	}
+}
+
+func TestStatusPoolGrowsAcrossSlabs(t *testing.T) {
+	// One 16KB slab holds 256 status blocks; submitting more jobs than
+	// that must roll over to a fresh slab without corrupting done bits.
+	h, region := newHAL(t)
+	p, _, _ := buildParams(t, region, `abc`, []string{"abc"})
+	var jobs []*Job
+	for i := 0; i < 300; i++ {
+		j, err := h.Submit(p)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	for i, j := range jobs {
+		if !j.Done() {
+			t.Fatalf("job %d lost its done bit", i)
+		}
+	}
+}
+
+func TestNewHALValidation(t *testing.T) {
+	dev, _ := fpga.NewDevice(fpga.DefaultDeployment())
+	if _, err := New(nil, dev); err == nil {
+		t.Error("nil region accepted")
+	}
+	if _, err := New(shmem.NewRegion(1<<30), nil); err == nil {
+		t.Error("nil device accepted")
+	}
+	// A region too small for the HAL's own structures fails cleanly.
+	if _, err := New(shmem.NewRegion(4<<20), dev); err == nil {
+		t.Error("region smaller than HAL structures accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package memmodel simulates the memory system of the Xeon+FPGA prototype:
+// the QPI link between the FPGA and the CPU-socket DRAM, the HAL's
+// round-robin data arbiter (batches of 16 cache lines, §4.2.2), and the
+// String Reader's two-phase access pattern (512 cache lines of offsets,
+// then the corresponding heap lines, §5.1).
+//
+// The model reproduces the paper's measured behaviour:
+//
+//   - the QPI endpoint sustains ~6.5 GB/s of reads (§2.2);
+//   - one Regex Engine consumes at most 6.4 GB/s (16 PUs × 400 MB/s), and
+//     the offset↔heap phase switches leave latency a single engine cannot
+//     hide, landing it at ~5.89 GB/s of raw bandwidth (§7.3);
+//   - a second engine fills those gaps and saturates the link; further
+//     engines add nothing (Figure 8's 30.7 → 34.4 → flat shape).
+//
+// The simulation is event-driven and fully deterministic.
+package memmodel
+
+import (
+	"doppiodb/internal/sim"
+)
+
+// Params are the platform constants. All bandwidths are bytes/second.
+type Params struct {
+	// QPIBandwidth is the effective FPGA-side read bandwidth over QPI.
+	QPIBandwidth float64
+	// CPUBandwidth is the CPU-side read bandwidth (for reference and the
+	// software cost model; the paper measured 25 GB/s).
+	CPUBandwidth float64
+	// EngineBandwidth is one Regex Engine's consumption rate.
+	EngineBandwidth float64
+	// LineBytes is the cache-line transfer granularity (512 bits).
+	LineBytes int
+	// GrantLines is the arbiter batch size: "the batch size of 16 is
+	// small enough to ensure good throughput without increasing memory
+	// access latency too much".
+	GrantLines int
+	// OffsetBatchLines is the String Reader's offset-phase depth (the
+	// depth of a BRAM FIFO): 512 cache lines.
+	OffsetBatchLines int
+	// SwitchLatency is the stall when the String Reader turns from the
+	// offset column to the string heap (and back). It aggregates the
+	// prototype's memory latency and QPI-endpoint inefficiencies and is
+	// calibrated so a lone engine lands at the measured 5.89 GB/s.
+	SwitchLatency sim.Time
+}
+
+// Default returns the prototype's parameters.
+func Default() Params {
+	return Params{
+		QPIBandwidth:     6.5e9,
+		CPUBandwidth:     25e9,
+		EngineBandwidth:  6.4e9,
+		LineBytes:        64,
+		GrantLines:       16,
+		OffsetBatchLines: 512,
+		SwitchLatency:    4200 * sim.Nanosecond,
+	}
+}
+
+// Job is the data volume of one engine job (one partition of a query).
+type Job struct {
+	Strings     int // number of input strings
+	OffsetBytes int // offset-column bytes to read
+	HeapBytes   int // string-heap bytes to read
+	ResultBytes int // result-column bytes to write
+}
+
+// TotalBytes returns the full QPI transfer volume of the job.
+func (j Job) TotalBytes() int { return j.OffsetBytes + j.HeapBytes + j.ResultBytes }
+
+// lines rounds a byte count up to whole cache lines.
+func (p Params) lines(bytes int) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return int64((bytes + p.LineBytes - 1) / p.LineBytes)
+}
+
+func (p Params) lineTime(rate float64) sim.Time {
+	return sim.FromSeconds(float64(p.LineBytes) / rate)
+}
+
+// phase is one contiguous access burst of an engine.
+type phase struct {
+	lines int64
+}
+
+// engineState walks an engine through its job queue.
+type engineState struct {
+	jobs    []Job
+	jobIdx  int
+	phases  []phase
+	phIdx   int
+	readyAt sim.Time
+	done    []sim.Time
+}
+
+// buildPhases expands a job into its offset/heap burst sequence. Each
+// offset batch of 512 lines covers OffsetBatchLines*LineBytes/4 strings;
+// the matching heap burst carries those strings' share of the heap. The
+// result write-back rides on the final burst (results are written
+// sequentially as cache lines fill, §5.1).
+func (p Params) buildPhases(j Job) []phase {
+	offLines := p.lines(j.OffsetBytes)
+	heapLines := p.lines(j.HeapBytes)
+	resLines := p.lines(j.ResultBytes)
+	var out []phase
+	batch := int64(p.OffsetBatchLines)
+	for offLines > 0 {
+		ob := min64(offLines, batch)
+		offLines -= ob
+		// Heap lines proportional to this offset batch.
+		hb := heapLines
+		if offLines > 0 {
+			hb = heapLines * ob / (offLines + ob)
+		}
+		heapLines -= hb
+		out = append(out, phase{lines: ob}, phase{lines: hb})
+	}
+	if len(out) == 0 {
+		out = append(out, phase{lines: 0})
+	}
+	out[len(out)-1].lines += resLines
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Result of a simulation.
+type Result struct {
+	// Done[e][k] is the completion time of engine e's k-th job.
+	Done [][]sim.Time
+	// Finish is the time the last job completed.
+	Finish sim.Time
+	// BytesMoved is the total QPI traffic.
+	BytesMoved int64
+	// BusyTime is the time the QPI link spent transferring.
+	BusyTime sim.Time
+}
+
+// Utilization returns the QPI link utilization over the simulated span.
+func (r Result) Utilization() float64 {
+	if r.Finish == 0 {
+		return 0
+	}
+	return r.BusyTime.Seconds() / r.Finish.Seconds()
+}
+
+// Simulate runs the given per-engine job queues to completion and returns
+// per-job completion times. Engines contend for the QPI link through the
+// arbiter; each engine consumes at EngineBandwidth and stalls for
+// SwitchLatency between access phases.
+func Simulate(p Params, queues [][]Job) Result {
+	engines := make([]*engineState, len(queues))
+	for i, q := range queues {
+		es := &engineState{jobs: q}
+		es.loadJob(p)
+		engines[i] = es
+	}
+	qpiLine := p.lineTime(p.QPIBandwidth)
+	engLine := p.lineTime(p.EngineBandwidth)
+
+	var now, busy sim.Time
+	var moved int64
+	res := Result{Done: make([][]sim.Time, len(queues))}
+	rr := 0 // round-robin arbiter pointer
+	for {
+		// Find the next engine (round-robin from rr) that has pending
+		// lines and is ready.
+		var pick *engineState
+		pickIdx := -1
+		var soonest sim.Time = -1
+		anyPending := false
+		for k := 0; k < len(engines); k++ {
+			i := (rr + k) % len(engines)
+			es := engines[i]
+			if es.jobIdx >= len(es.jobs) {
+				continue
+			}
+			anyPending = true
+			if es.readyAt <= now {
+				if pick == nil {
+					pick, pickIdx = es, i
+				}
+			}
+			if soonest < 0 || es.readyAt < soonest {
+				soonest = es.readyAt
+			}
+		}
+		if !anyPending {
+			break
+		}
+		if pick == nil {
+			// Link idles until an engine is ready.
+			now = soonest
+			continue
+		}
+		// Grant up to GrantLines from the engine's current phase.
+		ph := &pick.phases[pick.phIdx]
+		g := min64(ph.lines, int64(p.GrantLines))
+		if g > 0 {
+			service := qpiLine * sim.Time(g)
+			consume := engLine * sim.Time(g)
+			now += service
+			busy += service
+			moved += g * int64(p.LineBytes)
+			ph.lines -= g
+			// The engine is busy consuming; it cannot take the
+			// next grant before it drains this one.
+			pick.readyAt = now + (consume - service)
+		}
+		if ph.lines == 0 {
+			pick.advancePhase(p, now, &res)
+		}
+		rr = (pickIdx + 1) % len(engines)
+	}
+	res.Finish = now
+	res.BytesMoved = moved
+	res.BusyTime = busy
+	for i, es := range engines {
+		res.Done[i] = es.done
+	}
+	return res
+}
+
+func (es *engineState) loadJob(p Params) {
+	if es.jobIdx < len(es.jobs) {
+		es.phases = p.buildPhases(es.jobs[es.jobIdx])
+		es.phIdx = 0
+	}
+}
+
+// advancePhase moves the engine to its next burst, charging the switch
+// stall; at the end of the job it records completion and loads the next.
+func (es *engineState) advancePhase(p Params, now sim.Time, res *Result) {
+	es.phIdx++
+	if es.phIdx < len(es.phases) {
+		if es.readyAt < now {
+			es.readyAt = now
+		}
+		es.readyAt += p.SwitchLatency
+		return
+	}
+	es.done = append(es.done, now)
+	es.jobIdx++
+	es.loadJob(p)
+	if es.jobIdx < len(es.jobs) {
+		if es.readyAt < now {
+			es.readyAt = now
+		}
+		es.readyAt += p.SwitchLatency
+	}
+}
+
+// JobForStrings builds a Job for n strings of the given payload length
+// using the BAT heap layout (4 B offsets, 72 B heap entries for 64 B
+// strings, 2 B results).
+func JobForStrings(n, strLen, offsetWidth, entryStride, resultWidth int) Job {
+	return Job{
+		Strings:     n,
+		OffsetBytes: n * offsetWidth,
+		HeapBytes:   n * entryStride,
+		ResultBytes: n * resultWidth,
+	}
+}

@@ -1,0 +1,148 @@
+package memmodel
+
+import (
+	"testing"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/sim"
+)
+
+// q1Job is the Figure 8 workload: 2.5 M strings of 64 B payload.
+func q1Job() Job {
+	return JobForStrings(2_500_000, 64, bat.OffsetWidth, bat.EntryStride(64), 2)
+}
+
+// queriesPerSecond runs `jobs` identical jobs spread over `engines` engines
+// and returns the aggregate throughput.
+func queriesPerSecond(t *testing.T, engines, jobs int) float64 {
+	t.Helper()
+	queues := make([][]Job, engines)
+	for i := 0; i < jobs; i++ {
+		queues[i%engines] = append(queues[i%engines], q1Job())
+	}
+	res := Simulate(Default(), queues)
+	if res.Finish <= 0 {
+		t.Fatal("no progress")
+	}
+	return float64(jobs) / res.Finish.Seconds()
+}
+
+func TestFigure8SingleEngine(t *testing.T) {
+	// §7.3: a single engine achieves 30.7 queries/s (≈5.89 GB/s raw).
+	qps := queriesPerSecond(t, 1, 20)
+	if qps < 28 || qps > 33 {
+		t.Errorf("single-engine throughput = %.1f q/s, want ≈30.7", qps)
+	}
+	raw := qps * float64(q1Job().TotalBytes())
+	if raw < 5.5e9 || raw > 6.2e9 {
+		t.Errorf("single-engine raw bandwidth = %.2f GB/s, want ≈5.89", raw/1e9)
+	}
+}
+
+func TestFigure8Scaling(t *testing.T) {
+	// 1 → 2 engines: slight improvement (latency hiding); 2 → 4: flat,
+	// QPI-bound.
+	q1 := queriesPerSecond(t, 1, 20)
+	q2 := queriesPerSecond(t, 2, 20)
+	q3 := queriesPerSecond(t, 3, 21)
+	q4 := queriesPerSecond(t, 4, 20)
+	if q2 <= q1 {
+		t.Errorf("2 engines (%.1f) not faster than 1 (%.1f)", q2, q1)
+	}
+	if q2-q1 > 6 {
+		t.Errorf("2-engine gain too large: %.1f -> %.1f", q1, q2)
+	}
+	if diff := q4 - q2; diff > 1.5 || diff < -1.5 {
+		t.Errorf("4 engines (%.1f) should be flat vs 2 (%.1f)", q4, q2)
+	}
+	if diff := q3 - q2; diff > 1.5 || diff < -1.5 {
+		t.Errorf("3 engines (%.1f) should be flat vs 2 (%.1f)", q3, q2)
+	}
+	// With 2+ engines the link saturates near 6.5 GB/s.
+	raw := q4 * float64(q1Job().TotalBytes())
+	if raw < 6.2e9 || raw > 6.55e9 {
+		t.Errorf("saturated bandwidth = %.2f GB/s, want ≈6.5", raw/1e9)
+	}
+}
+
+func TestPartitionedResponseTime(t *testing.T) {
+	// A single query partitioned across 4 engines: response time is the
+	// QPI-bound transfer time of the whole volume plus small overheads.
+	whole := q1Job()
+	part := JobForStrings(whole.Strings/4, 64, bat.OffsetWidth, bat.EntryStride(64), 2)
+	res := Simulate(Default(), [][]Job{{part}, {part}, {part}, {part}})
+	want := float64(whole.TotalBytes()) / 6.5e9
+	got := res.Finish.Seconds()
+	if got < want || got > want*1.15 {
+		t.Errorf("partitioned response = %.4fs, want ≈%.4fs (QPI-bound)", got, want)
+	}
+}
+
+func TestLinearInVolume(t *testing.T) {
+	// FPGA response time scales linearly with input size (Figure 9's
+	// FPGA lines).
+	mk := func(n int) sim.Time {
+		j := JobForStrings(n, 64, bat.OffsetWidth, bat.EntryStride(64), 2)
+		res := Simulate(Default(), [][]Job{{j}})
+		return res.Finish
+	}
+	t1 := mk(320_000)
+	t2 := mk(640_000)
+	t3 := mk(1_280_000)
+	r12 := float64(t2) / float64(t1)
+	r23 := float64(t3) / float64(t2)
+	if r12 < 1.85 || r12 > 2.15 || r23 < 1.85 || r23 > 2.15 {
+		t.Errorf("scaling not linear: %v %v %v (ratios %.2f %.2f)", t1, t2, t3, r12, r23)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	res := Simulate(Default(), [][]Job{{q1Job()}, {q1Job()}})
+	u := res.Utilization()
+	if u < 0.9 || u > 1.0 {
+		t.Errorf("2-engine utilization = %.3f, want ≈1", u)
+	}
+	res1 := Simulate(Default(), [][]Job{{q1Job()}})
+	u1 := res1.Utilization()
+	if u1 >= u {
+		t.Errorf("single-engine utilization %.3f should trail multi %.3f", u1, u)
+	}
+}
+
+func TestEmptyAndTinyJobs(t *testing.T) {
+	res := Simulate(Default(), [][]Job{})
+	if res.Finish != 0 || res.BytesMoved != 0 {
+		t.Errorf("empty simulation moved data: %+v", res)
+	}
+	res = Simulate(Default(), [][]Job{{Job{}}})
+	if len(res.Done[0]) != 1 {
+		t.Error("zero-volume job did not complete")
+	}
+	res = Simulate(Default(), [][]Job{{JobForStrings(1, 64, 4, 72, 2)}})
+	if len(res.Done[0]) != 1 || res.Finish <= 0 {
+		t.Error("tiny job did not complete")
+	}
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	j := JobForStrings(10_000, 64, bat.OffsetWidth, bat.EntryStride(64), 2)
+	res := Simulate(Default(), [][]Job{{j}})
+	// Moved bytes are the job volume rounded up to cache lines.
+	min := int64(j.TotalBytes())
+	max := min + 3*64
+	if res.BytesMoved < min || res.BytesMoved > max {
+		t.Errorf("BytesMoved = %d, want within [%d,%d]", res.BytesMoved, min, max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() Result {
+		return Simulate(Default(), [][]Job{
+			{q1Job(), q1Job()}, {q1Job()}, {q1Job(), q1Job(), q1Job()},
+		})
+	}
+	a, b := mk(), mk()
+	if a.Finish != b.Finish || a.BytesMoved != b.BytesMoved || a.BusyTime != b.BusyTime {
+		t.Error("simulation not deterministic")
+	}
+}

@@ -1,0 +1,185 @@
+// Package perf is the calibrated software-side performance model. The
+// reproduction runs on whatever host executes the tests, so wall-clock
+// measurements of our Go baselines cannot be compared against the paper's
+// 10-core Xeon E5-2680 v2 numbers. Instead, every software operator counts
+// the work it really performed (rows touched, byte comparisons, backtracking
+// steps, postings scanned) and this package converts that work into
+// simulated time with constants calibrated against the paper's published
+// measurements:
+//
+//   - Table 1 (2.5 M rows of 64 B addresses): MonetDB CONTAINS 0.033 s,
+//     LIKE 0.431 s, REGEXP_LIKE 8.864 s; DBx CONTAINS 0.021 s, LIKE 0.361 s.
+//   - Figure 9a: MonetDB response time is flat (~0.43 s) until the 10-way
+//     partitioning is saturated, then linear.
+//   - Figure 10: the database + UDF software overheads for a 10 k-tuple
+//     relation total a few tens of microseconds.
+//
+// Complexity-dependence is *emergent*: the regex cost is per backtracking
+// step, so Q2–Q4 diverge exactly as PCRE's behaviour makes them, which is
+// the effect the paper's evaluation highlights.
+package perf
+
+import (
+	"doppiodb/internal/sim"
+)
+
+// Model holds the calibrated constants. All per-unit costs are single-thread
+// costs; engines divide by their worker count.
+type Model struct {
+	// MonetDB (column store, intra-operator parallelism over Threads).
+	MDBThreads     int      // worker threads (10-core machine)
+	MDBRowOverhead sim.Time // per-row BAT iteration + string fetch, per thread
+	MDBFloor       sim.Time // parallel-mode sync/partitioning floor (Fig. 9a's flat region)
+	MDBSeqOverhead sim.Time // sequential_pipe per-query overhead (no parallel sync)
+
+	// DBx (commercial row store, strictly one thread per query).
+	DBXRowOverhead sim.Time // per-row volcano iteration + predicate dispatch
+
+	// Matching work.
+	CmpCost          sim.Time // per byte comparison (LIKE / Boyer-Moore)
+	StepCost         sim.Time // per backtracking step (PCRE-style regex)
+	RegexRowOverhead sim.Time // per-row PCRE invocation cost (REGEXP_LIKE)
+	PostingCost      sim.Time // per posting-list entry touched (CONTAINS)
+
+	// Fixed query-path overheads (Figure 10's breakdown for small
+	// relations).
+	DatabaseOverhead sim.Time // parsing, planning, BAT plumbing
+	UDFOverhead      sim.Time // UDF invocation + result handover
+	ConfigGenTime    sim.Time // regex → configuration vector ("less than 1 µs")
+
+	// Index maintenance (the CONTAINS trade-off of §7.2).
+	IndexBuildPerRow sim.Time // inverted-index build cost per row
+}
+
+// Default returns the calibrated model. See the package comment for the
+// anchors; the individual derivations are commented inline.
+func Default() Model {
+	return Model{
+		MDBThreads: 10,
+		// Table 1 LIKE: 0.431 s for 2.5 M rows on 10 threads with the
+		// floor subtracted ⇒ ~1.5 µs/row/thread dominated by string
+		// materialization; comparisons add the rest.
+		MDBRowOverhead: 1200 * sim.Nanosecond,
+		// Figure 9a: the MonetDB lines are flat until the 10-way
+		// partitioning is saturated; the floor also keeps Q1's
+		// response near Table 1's 0.431 s at 2.5 M rows.
+		MDBFloor:       200 * sim.Millisecond,
+		MDBSeqOverhead: 2 * sim.Millisecond,
+		// Table 1 DBx LIKE: 0.361 s / 2.5 M rows single-threaded
+		// ⇒ ~144 ns/row total; most of it row iteration.
+		DBXRowOverhead: 120 * sim.Nanosecond,
+		// Boyer-Moore on 64 B addresses makes ~15–20 comparisons/row.
+		CmpCost: 1 * sim.Nanosecond,
+		// Regex costs balance three published anchors that are in
+		// mild tension (PCRE's cost is pattern-specific in ways a
+		// linear model cannot fully capture): Table 1's 8.864 s
+		// REGEXP_LIKE at 2.5 M rows, Figure 9a's "about an order of
+		// magnitude" over Q1 for Q2–Q4, and Figure 11a's "5-15x
+		// slower than Q1" throughput. These values land Q2–Q4 at
+		// ~4-5 s (FPGA speedup ≈130-160x, within the abstract's "one
+		// to two orders of magnitude") and Table 1's pattern at
+		// ~3 s (a 3x deviation, recorded in EXPERIMENTS.md).
+		StepCost:         30 * sim.Nanosecond,
+		RegexRowOverhead: 6 * sim.Microsecond,
+		// Table 1 CONTAINS: tens of ms for ~1.5 M postings touched.
+		PostingCost: 20 * sim.Nanosecond,
+
+		DatabaseOverhead: 60 * sim.Microsecond,
+		UDFOverhead:      25 * sim.Microsecond,
+		ConfigGenTime:    800 * sim.Nanosecond,
+
+		// §7.2: rebuilding the CONTAINS index takes >20 min for 2.5 M
+		// tuples in DBx ⇒ ~0.5 ms/row.
+		IndexBuildPerRow: 480 * sim.Microsecond,
+	}
+}
+
+// Work counts the real work a software scan performed.
+type Work struct {
+	Rows        int    // rows touched
+	Bytes       uint64 // payload bytes touched
+	Comparisons uint64 // byte comparisons (LIKE)
+	Steps       uint64 // backtracking steps (regex)
+	RegexRows   int    // rows evaluated through the PCRE-style engine
+	Postings    uint64 // posting entries touched (CONTAINS)
+}
+
+// Add accumulates other into w.
+func (w *Work) Add(other Work) {
+	w.Rows += other.Rows
+	w.Bytes += other.Bytes
+	w.Comparisons += other.Comparisons
+	w.Steps += other.Steps
+	w.RegexRows += other.RegexRows
+	w.Postings += other.Postings
+}
+
+// scanCost is the single-threaded cost of the work under a per-row
+// overhead.
+func (m Model) scanCost(w Work, rowOverhead sim.Time) sim.Time {
+	t := sim.Time(w.Rows) * rowOverhead
+	t += sim.Time(w.Comparisons) * m.CmpCost
+	t += sim.Time(w.Steps) * m.StepCost
+	t += sim.Time(w.RegexRows) * m.RegexRowOverhead
+	t += sim.Time(w.Postings) * m.PostingCost
+	return t
+}
+
+// MonetDBScan converts scan work into MonetDB response time. parallel
+// selects the default optimizer pipeline (10-way intra-operator
+// parallelism with its synchronization floor); otherwise sequential_pipe.
+func (m Model) MonetDBScan(w Work, parallel bool) sim.Time {
+	single := m.scanCost(w, m.MDBRowOverhead)
+	if parallel {
+		t := single / sim.Time(m.MDBThreads)
+		if t < m.MDBFloor {
+			return m.MDBFloor
+		}
+		return t
+	}
+	return m.MDBSeqOverhead + single
+}
+
+// DBXScan converts scan work into DBx response time (one thread per
+// query).
+func (m Model) DBXScan(w Work) sim.Time {
+	return m.scanCost(w, m.DBXRowOverhead)
+}
+
+// ContainsLookup is the response time of an index-backed CONTAINS.
+func (m Model) ContainsLookup(w Work, monetdb bool) sim.Time {
+	base := 18 * sim.Millisecond // query-path fixed cost
+	if monetdb {
+		base = 28 * sim.Millisecond
+	}
+	return base + sim.Time(w.Postings)*m.PostingCost
+}
+
+// IndexBuild is the time to (re)build the CONTAINS index over n rows.
+func (m Model) IndexBuild(n int) sim.Time {
+	return sim.Time(n) * m.IndexBuildPerRow
+}
+
+// MonetDBAggregateThroughput returns MonetDB's query throughput (queries/s)
+// for a scan whose single-query response is t: the engine is
+// work-conserving, so with many clients the aggregate stays 1/t (Fig. 11a's
+// flat MonetDB lines).
+func (m Model) MonetDBAggregateThroughput(t sim.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1.0 / t.Seconds()
+}
+
+// DBXThroughput returns DBx's aggregate throughput with `clients` parallel
+// single-threaded queries of single-client response t, capped by the core
+// count (Fig. 11b's linear-then-saturating shape).
+func (m Model) DBXThroughput(t sim.Time, clients int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if clients > m.MDBThreads {
+		clients = m.MDBThreads
+	}
+	return float64(clients) / t.Seconds()
+}

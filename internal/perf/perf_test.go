@@ -1,0 +1,113 @@
+package perf
+
+import (
+	"testing"
+
+	"doppiodb/internal/sim"
+)
+
+func TestMonetDBScanFloor(t *testing.T) {
+	m := Default()
+	// Tiny scans sit on the parallelization floor (Fig. 9a's flat
+	// region).
+	small := Work{Rows: 10_000, Comparisons: 200_000}
+	if got := m.MonetDBScan(small, true); got != m.MDBFloor {
+		t.Errorf("small parallel scan = %v, want floor %v", got, m.MDBFloor)
+	}
+	// Sequential mode has no floor.
+	if got := m.MonetDBScan(small, false); got >= m.MDBFloor {
+		t.Errorf("sequential scan %v should undercut the floor", got)
+	}
+}
+
+func TestMonetDBScanScalesLinearlyBeyondFloor(t *testing.T) {
+	m := Default()
+	w10 := Work{Rows: 10_000_000, Comparisons: 300_000_000}
+	w20 := Work{Rows: 20_000_000, Comparisons: 600_000_000}
+	t10 := m.MonetDBScan(w10, true)
+	t20 := m.MonetDBScan(w20, true)
+	ratio := float64(t20) / float64(t10)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("scan not linear: %v -> %v (ratio %.2f)", t10, t20, ratio)
+	}
+}
+
+func TestTable1Calibration(t *testing.T) {
+	m := Default()
+	// 2.5 M rows of 64 B. LIKE '%Alan%Turing%Cheshire%': the scan work
+	// mdb reports is ~rows/3 + 8*segments comparisons per row.
+	like := Work{Rows: 2_500_000, Comparisons: 2_500_000 * (64/3 + 8*3)}
+	tl := m.MonetDBScan(like, true)
+	if s := tl.Seconds(); s < 0.25 || s > 0.7 {
+		t.Errorf("MonetDB LIKE = %.3fs, want ≈0.431 (Table 1)", s)
+	}
+	td := m.DBXScan(like)
+	if s := td.Seconds(); s < 0.2 || s > 0.6 {
+		t.Errorf("DBx LIKE = %.3fs, want ≈0.361 (Table 1)", s)
+	}
+	// REGEXP_LIKE('Alan.*Turing.*Cheshire'): ~150 backtracking steps per
+	// 64 B row on this pattern (measured on the workload generator).
+	// The model lands at ~3 s against the paper's 8.864 s — the regex
+	// constants favour Figures 9/11's relative shapes (see perf.go).
+	regex := Work{Rows: 2_500_000, RegexRows: 2_500_000, Steps: 2_500_000 * 150}
+	tr := m.MonetDBScan(regex, true)
+	if s := tr.Seconds(); s < 2 || s > 9 {
+		t.Errorf("MonetDB REGEXP = %.3fs, want 2-9 (paper 8.864)", s)
+	}
+	// CONTAINS: an order of magnitude below LIKE.
+	contains := Work{Postings: 1_500_000}
+	tc := m.ContainsLookup(contains, true)
+	if s := tc.Seconds(); s < 0.02 || s > 0.08 {
+		t.Errorf("MonetDB CONTAINS = %.3fs, want ≈0.033 (Table 1)", s)
+	}
+	if m.ContainsLookup(contains, false) >= tc {
+		t.Error("DBx CONTAINS should be cheaper than MonetDB's")
+	}
+	// Ordering: CONTAINS < LIKE < REGEXP by roughly an order of
+	// magnitude each — the trend Table 1 highlights.
+	if !(tc < tl && tl < tr) {
+		t.Errorf("operator ordering broken: %v %v %v", tc, tl, tr)
+	}
+	if float64(tr)/float64(tl) < 6 {
+		t.Errorf("REGEXP/LIKE ratio %.1f, want ≥ 6 (order-of-magnitude trend)", float64(tr)/float64(tl))
+	}
+}
+
+func TestWorkAdd(t *testing.T) {
+	a := Work{Rows: 1, Bytes: 2, Comparisons: 3, Steps: 4, Postings: 5}
+	b := a
+	a.Add(b)
+	if a != (Work{Rows: 2, Bytes: 4, Comparisons: 6, Steps: 8, Postings: 10}) {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestIndexBuildCost(t *testing.T) {
+	m := Default()
+	// §7.2: rebuilding the index for 2.5 M tuples takes >20 minutes.
+	got := m.IndexBuild(2_500_000)
+	if got < 20*60*sim.Second {
+		t.Errorf("index build = %v, want > 20 min", got)
+	}
+}
+
+func TestThroughputHelpers(t *testing.T) {
+	m := Default()
+	resp := 500 * sim.Millisecond
+	if q := m.MonetDBAggregateThroughput(resp); q < 1.9 || q > 2.1 {
+		t.Errorf("MonetDB throughput = %.2f, want 2", q)
+	}
+	// DBx scales linearly with clients up to the core count.
+	one := m.DBXThroughput(resp, 1)
+	five := m.DBXThroughput(resp, 5)
+	twenty := m.DBXThroughput(resp, 20)
+	if five < 4.9*one || five > 5.1*one {
+		t.Errorf("DBx not linear: 1->%.2f 5->%.2f", one, five)
+	}
+	if twenty > 10.1*one {
+		t.Errorf("DBx should cap at 10 threads: %.2f", twenty)
+	}
+	if m.MonetDBAggregateThroughput(0) != 0 || m.DBXThroughput(0, 3) != 0 {
+		t.Error("zero response time should yield zero throughput")
+	}
+}

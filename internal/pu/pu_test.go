@@ -1,0 +1,205 @@
+package pu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/config"
+	"doppiodb/internal/token"
+)
+
+func mustUnit(t *testing.T, pat string, opts token.Options) *Unit {
+	t.Helper()
+	prog, err := token.CompilePattern(pat, opts)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pat, err)
+	}
+	u, err := New(prog)
+	if err != nil {
+		t.Fatalf("New(%q): %v", pat, err)
+	}
+	return u
+}
+
+func TestMatchPaperQueries(t *testing.T) {
+	cases := []struct {
+		pat, in string
+		want    uint16
+	}{
+		{`Strasse`, "John|Smith|44 Koblenzer Strasse|60327|Frankfurt", 31},
+		{`(Strasse|Str\.).*(8[0-9]{4})`, "Meier|Str. 5|80331|Muenchen", 18},
+		{`(Strasse|Str\.).*(8[0-9]{4})`, "Meier|Weg 5|80331|Muenchen", 0},
+		{`[0-9]+(USD|EUR|GBP)`, "invoice 250EUR due", 14},
+		{`[A-Za-z]{3}\:[0-9]{4}`, "code XYZ:9911 sent", 13},
+		{`(a|b).*c`, "zzazzc", 6},
+		{`(a|b).*c`, "zczz", 0},
+	}
+	for _, c := range cases {
+		u := mustUnit(t, c.pat, token.Options{})
+		if got := u.MatchString(c.in); got != c.want {
+			t.Errorf("PU %q on %q = %d, want %d", c.pat, c.in, got, c.want)
+		}
+	}
+}
+
+func TestBitParallelMatchesReference(t *testing.T) {
+	// The bit-parallel circuit model must agree byte-for-byte with the
+	// slow reference interpreter on random patterns and inputs.
+	r := rand.New(rand.NewSource(5))
+	atoms := []string{"a", "b", "[ab]", "c", "."}
+	var build func(d int) string
+	build = func(d int) string {
+		if d == 0 {
+			return atoms[r.Intn(len(atoms))]
+		}
+		switch r.Intn(7) {
+		case 0:
+			return build(d-1) + build(d-1)
+		case 1:
+			return "(" + build(d-1) + "|" + build(d-1) + ")"
+		case 2:
+			return "(" + build(d-1) + ")+"
+		case 3:
+			return build(d-1) + ".*" + build(d-1)
+		case 4:
+			return "(" + build(d-1) + ")?" + build(d-1)
+		default:
+			return build(d - 1)
+		}
+	}
+	tested := 0
+	for i := 0; i < 500; i++ {
+		pat := build(3)
+		if r.Intn(4) == 0 {
+			pat = "^" + pat
+		}
+		if r.Intn(4) == 0 {
+			pat = pat + "$"
+		}
+		prog, err := token.CompilePattern(pat, token.Options{FoldCase: r.Intn(2) == 0})
+		if err != nil {
+			continue
+		}
+		u, err := New(prog)
+		if err != nil {
+			continue
+		}
+		tested++
+		for k := 0; k < 25; k++ {
+			var b strings.Builder
+			for j := 0; j < r.Intn(18); j++ {
+				b.WriteByte("abcxA"[r.Intn(5)])
+			}
+			in := b.String()
+			want := prog.MatchString(in)
+			got := int(u.MatchString(in))
+			if got != want {
+				t.Fatalf("pattern %q input %q: pu=%d reference=%d", pat, in, got, want)
+			}
+		}
+	}
+	if tested < 200 {
+		t.Fatalf("only %d patterns tested", tested)
+	}
+}
+
+func TestConfigVectorToUnit(t *testing.T) {
+	// Full path: pattern -> config vector -> decode -> PU, as the HAL
+	// does in step 7 of Figure 3.
+	prog, err := token.CompilePattern(`(Strasse|Str\.).*(8[0-9]{4})`, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := config.Encode(prog, config.DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := config.Decode(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.MatchString("Haupt Strasse 81000"); got != 19 {
+		t.Errorf("decoded PU match = %d, want 19", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	u := mustUnit(t, `abc`, token.Options{})
+	u.MatchString("xxabc")   // match at 5, consumes 5 bytes
+	u.MatchString("zzzz")    // no match, 4 bytes
+	u.MatchString("abcdefg") // match at 3, early exit after 3 bytes
+	s := u.Stats()
+	if s.Strings != 3 {
+		t.Errorf("Strings = %d", s.Strings)
+	}
+	if s.Matches != 2 {
+		t.Errorf("Matches = %d", s.Matches)
+	}
+	if s.Bytes != 5+4+3 {
+		t.Errorf("Bytes = %d, want 12", s.Bytes)
+	}
+	u.ResetStats()
+	if u.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestCapacityErrors(t *testing.T) {
+	// 33 alternation branches exceed MaxTokens.
+	parts := make([]string, 33)
+	for i := range parts {
+		parts[i] = strings.Repeat(string(rune('a'+i%26)), 1)
+	}
+	prog, err := token.CompilePattern("("+strings.Join(parts, "|")+")x", token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog); err != ErrTooManyTokens {
+		t.Errorf("want ErrTooManyTokens, got %v", err)
+	}
+	// One token of 70 chained matchers exceeds the chain capacity.
+	prog, err = token.CompilePattern(strings.Repeat("a", 70), token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog); err != ErrChainTooLong {
+		t.Errorf("want ErrChainTooLong, got %v", err)
+	}
+}
+
+func TestSaturatedPosition(t *testing.T) {
+	u := mustUnit(t, `zq`, token.Options{})
+	in := strings.Repeat("x", 70000) + "zq"
+	if got := u.Match([]byte(in)); got != 0xFFFF {
+		t.Errorf("saturated position = %d, want 65535", got)
+	}
+}
+
+func TestFoldCaseCollation(t *testing.T) {
+	// §6.4: collation has no effect on performance, only on the hit
+	// table, and must match case-insensitively.
+	u := mustUnit(t, `(blue|gray).*skies`, token.Options{FoldCase: true})
+	if got := u.MatchString("GRAY autumn SKIES"); got != 17 {
+		t.Errorf("collation match = %d, want 17", got)
+	}
+	u2 := mustUnit(t, `(blue|gray).*skies`, token.Options{})
+	if got := u2.MatchString("GRAY autumn SKIES"); got != 0 {
+		t.Errorf("case-sensitive matched %d", got)
+	}
+}
+
+func BenchmarkPUMatch64B(b *testing.B) {
+	prog, _ := token.CompilePattern(`(Strasse|Str\.).*(8[0-9]{4})`, token.Options{})
+	u, _ := New(prog)
+	in := []byte("John|Smith|44 Koblenzer Weg|60327|Frankfurt am Main padding..")
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Match(in)
+	}
+}

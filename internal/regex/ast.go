@@ -1,0 +1,252 @@
+// Package regex implements the regular-expression dialect accepted by the
+// paper's REGEXP_LIKE / REGEXP_FPGA operators: literals, `.`, character
+// classes with ranges ([0-9], [A-Za-z], [^...]), the quantifiers * + ? {m}
+// {m,n} {m,}, alternation, grouping, anchors ^ $, and backslash escapes.
+// The package provides the parser and AST shared by the software matchers
+// (internal/softregex) and the hardware compiler (internal/token).
+//
+// Patterns are matched byte-wise over the stored strings, which is exactly
+// what the hardware character matchers do; the paper targets the English
+// subset of UTF-8 (§6.4) and so do we.
+package regex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies the kind of a Node.
+type Op int
+
+// AST node kinds.
+const (
+	OpEmpty  Op = iota // matches the empty string
+	OpLit              // single byte literal
+	OpClass            // character class (ranges, possibly negated)
+	OpAny              // `.` — any byte
+	OpConcat           // concatenation of Subs
+	OpAlt              // alternation of Subs
+	OpStar             // Sub[0] repeated zero or more times
+	OpPlus             // Sub[0] repeated one or more times
+	OpQuest            // Sub[0] zero or one time
+	OpRepeat           // Sub[0] repeated Min..Max times (Max<0: unbounded)
+	OpBegin            // ^ anchor
+	OpEnd              // $ anchor
+)
+
+var opNames = [...]string{"empty", "lit", "class", "any", "concat", "alt",
+	"star", "plus", "quest", "repeat", "begin", "end"}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Range is an inclusive byte range of a character class.
+type Range struct {
+	Lo, Hi byte
+}
+
+// Contains reports whether b falls in the range.
+func (r Range) Contains(b byte) bool { return r.Lo <= b && b <= r.Hi }
+
+// Node is a node of the regular-expression AST.
+type Node struct {
+	Op       Op
+	Lit      byte    // OpLit
+	Ranges   []Range // OpClass
+	Negated  bool    // OpClass
+	Subs     []*Node // OpConcat, OpAlt, quantifiers (one sub)
+	Min, Max int     // OpRepeat; Max < 0 means unbounded
+}
+
+// MatchesByte reports whether a leaf node (OpLit, OpClass, OpAny) matches
+// byte b under optional ASCII case folding.
+func (n *Node) MatchesByte(b byte, foldCase bool) bool {
+	switch n.Op {
+	case OpLit:
+		if n.Lit == b {
+			return true
+		}
+		return foldCase && asciiFold(n.Lit) == asciiFold(b)
+	case OpAny:
+		return true
+	case OpClass:
+		in := n.rangesContain(b)
+		if !in && foldCase {
+			in = n.rangesContain(foldFlip(b))
+		}
+		if n.Negated {
+			return !in
+		}
+		return in
+	}
+	return false
+}
+
+func (n *Node) rangesContain(b byte) bool {
+	for _, r := range n.Ranges {
+		if r.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// asciiFold lowercases ASCII letters.
+func asciiFold(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// foldFlip returns the opposite-case letter, or b unchanged.
+func foldFlip(b byte) byte {
+	switch {
+	case 'A' <= b && b <= 'Z':
+		return b + 'a' - 'A'
+	case 'a' <= b && b <= 'z':
+		return b - ('a' - 'A')
+	}
+	return b
+}
+
+// IsLeaf reports whether n consumes exactly one input byte.
+func (n *Node) IsLeaf() bool {
+	return n.Op == OpLit || n.Op == OpClass || n.Op == OpAny
+}
+
+// Nullable reports whether n can match the empty string.
+func (n *Node) Nullable() bool {
+	switch n.Op {
+	case OpEmpty, OpStar, OpQuest, OpBegin, OpEnd:
+		return true
+	case OpLit, OpClass, OpAny:
+		return false
+	case OpPlus:
+		return n.Subs[0].Nullable()
+	case OpRepeat:
+		return n.Min == 0 || n.Subs[0].Nullable()
+	case OpConcat:
+		for _, s := range n.Subs {
+			if !s.Nullable() {
+				return false
+			}
+		}
+		return true
+	case OpAlt:
+		for _, s := range n.Subs {
+			if s.Nullable() {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// String renders the node back to (a canonical form of) pattern syntax,
+// useful in error messages and tests.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b, false)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder, grouped bool) {
+	switch n.Op {
+	case OpEmpty:
+	case OpLit:
+		if strings.IndexByte(`.*+?()[]{}|\^$`, n.Lit) >= 0 {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(n.Lit)
+	case OpAny:
+		b.WriteByte('.')
+	case OpBegin:
+		b.WriteByte('^')
+	case OpEnd:
+		b.WriteByte('$')
+	case OpClass:
+		b.WriteByte('[')
+		if n.Negated {
+			b.WriteByte('^')
+		}
+		for _, r := range n.Ranges {
+			writeClassByte(b, r.Lo)
+			if r.Hi != r.Lo {
+				b.WriteByte('-')
+				writeClassByte(b, r.Hi)
+			}
+		}
+		b.WriteByte(']')
+	case OpConcat:
+		for _, s := range n.Subs {
+			s.write(b, false)
+		}
+	case OpAlt:
+		if !grouped {
+			b.WriteByte('(')
+		}
+		for i, s := range n.Subs {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			s.write(b, false)
+		}
+		if !grouped {
+			b.WriteByte(')')
+		}
+	case OpStar, OpPlus, OpQuest:
+		n.writeQuantified(b)
+		switch n.Op {
+		case OpStar:
+			b.WriteByte('*')
+		case OpPlus:
+			b.WriteByte('+')
+		case OpQuest:
+			b.WriteByte('?')
+		}
+	case OpRepeat:
+		n.writeQuantified(b)
+		if n.Max == n.Min {
+			fmt.Fprintf(b, "{%d}", n.Min)
+		} else if n.Max < 0 {
+			fmt.Fprintf(b, "{%d,}", n.Min)
+		} else {
+			fmt.Fprintf(b, "{%d,%d}", n.Min, n.Max)
+		}
+	}
+}
+
+func (n *Node) writeQuantified(b *strings.Builder) {
+	sub := n.Subs[0]
+	if sub.IsLeaf() {
+		sub.write(b, false)
+		return
+	}
+	b.WriteByte('(')
+	sub.write(b, true)
+	b.WriteByte(')')
+}
+
+func writeClassByte(b *strings.Builder, c byte) {
+	if strings.IndexByte(`]\-^`, c) >= 0 {
+		b.WriteByte('\\')
+	}
+	b.WriteByte(c)
+}
+
+// Walk visits every node of the tree in pre-order.
+func Walk(n *Node, visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, s := range n.Subs {
+		Walk(s, visit)
+	}
+}

@@ -1,0 +1,43 @@
+package regex
+
+// Desugar expands counted repetitions into concatenations so that matchers
+// and compilers only see * + ? | and leaves: X{m,n} becomes X…X (m copies)
+// followed by X?…X? (n−m copies); X{m,} becomes m copies and a trailing X*.
+// The returned tree shares unmodified subtrees with the input.
+func Desugar(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if len(n.Subs) > 0 {
+		subs := make([]*Node, len(n.Subs))
+		for i, s := range n.Subs {
+			subs[i] = Desugar(s)
+		}
+		m := *n
+		m.Subs = subs
+		n = &m
+	}
+	if n.Op != OpRepeat {
+		return n
+	}
+	x := n.Subs[0]
+	var out []*Node
+	for i := 0; i < n.Min; i++ {
+		out = append(out, x)
+	}
+	switch {
+	case n.Max < 0:
+		out = append(out, &Node{Op: OpStar, Subs: []*Node{x}})
+	default:
+		for i := n.Min; i < n.Max; i++ {
+			out = append(out, &Node{Op: OpQuest, Subs: []*Node{x}})
+		}
+	}
+	switch len(out) {
+	case 0:
+		return &Node{Op: OpEmpty}
+	case 1:
+		return out[0]
+	}
+	return &Node{Op: OpConcat, Subs: out}
+}

@@ -1,0 +1,324 @@
+package regex
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmptyPattern is returned for an empty pattern string, which the HUDF
+// rejects (an empty regular expression would match every tuple at position
+// zero, indistinguishable from a non-match in the result encoding).
+var ErrEmptyPattern = errors.New("regex: empty pattern")
+
+// maxRepeat bounds counted repetitions so that a pathological `a{100000}`
+// cannot blow up the compiler; the hardware character budget is far smaller
+// anyway.
+const maxRepeat = 1000
+
+// ParseError describes a syntax error with its byte offset in the pattern.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regex: %s at offset %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+// Parse parses a pattern into its AST.
+func Parse(pattern string) (*Node, error) {
+	if pattern == "" {
+		return nil, ErrEmptyPattern
+	}
+	p := &parser{src: pattern}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected %q", p.src[p.pos])
+	}
+	return n, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool     { return p.pos >= len(p.src) }
+func (p *parser) peek() byte    { return p.src[p.pos] }
+func (p *parser) advance() byte { b := p.src[p.pos]; p.pos++; return b }
+func (p *parser) accept(b byte) bool {
+	if !p.eof() && p.peek() == b {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseAlt = parseConcat ('|' parseConcat)*
+func (p *parser) parseAlt() (*Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '|' {
+		return first, nil
+	}
+	alt := &Node{Op: OpAlt, Subs: []*Node{first}}
+	for p.accept('|') {
+		sub, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alt.Subs = append(alt.Subs, sub)
+	}
+	return alt, nil
+}
+
+// parseConcat = quantifiedAtom*
+func (p *parser) parseConcat() (*Node, error) {
+	var subs []*Node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atom, err = p.parseQuantifier(atom)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, atom)
+	}
+	switch len(subs) {
+	case 0:
+		return &Node{Op: OpEmpty}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return &Node{Op: OpConcat, Subs: subs}, nil
+}
+
+func (p *parser) parseQuantifier(atom *Node) (*Node, error) {
+	if p.eof() {
+		return atom, nil
+	}
+	quantifiable := func() error {
+		if atom.Op == OpBegin || atom.Op == OpEnd || atom.Op == OpEmpty {
+			return p.errorf("quantifier on unquantifiable expression")
+		}
+		return nil
+	}
+	switch p.peek() {
+	case '*':
+		if err := quantifiable(); err != nil {
+			return nil, err
+		}
+		p.advance()
+		return &Node{Op: OpStar, Subs: []*Node{atom}}, nil
+	case '+':
+		if err := quantifiable(); err != nil {
+			return nil, err
+		}
+		p.advance()
+		return &Node{Op: OpPlus, Subs: []*Node{atom}}, nil
+	case '?':
+		if err := quantifiable(); err != nil {
+			return nil, err
+		}
+		p.advance()
+		return &Node{Op: OpQuest, Subs: []*Node{atom}}, nil
+	case '{':
+		if err := quantifiable(); err != nil {
+			return nil, err
+		}
+		return p.parseRepeat(atom)
+	}
+	return atom, nil
+}
+
+// parseRepeat parses {m}, {m,}, {m,n}.
+func (p *parser) parseRepeat(atom *Node) (*Node, error) {
+	start := p.pos
+	p.advance() // '{'
+	minVal, ok := p.parseInt()
+	if !ok {
+		// Not a counted repetition after all; treat '{' as a literal,
+		// as PCRE does.
+		p.pos = start + 1
+		return &Node{Op: OpConcat, Subs: []*Node{atom, {Op: OpLit, Lit: '{'}}}, nil
+	}
+	maxVal := minVal
+	if p.accept(',') {
+		if v, ok2 := p.parseInt(); ok2 {
+			maxVal = v
+		} else {
+			maxVal = -1
+		}
+	}
+	if !p.accept('}') {
+		return nil, p.errorf("missing } in counted repetition")
+	}
+	if minVal > maxRepeat || maxVal > maxRepeat {
+		return nil, p.errorf("counted repetition exceeds %d", maxRepeat)
+	}
+	if maxVal >= 0 && maxVal < minVal {
+		return nil, p.errorf("invalid repetition bounds {%d,%d}", minVal, maxVal)
+	}
+	return &Node{Op: OpRepeat, Min: minVal, Max: maxVal, Subs: []*Node{atom}}, nil
+}
+
+func (p *parser) parseInt() (int, bool) {
+	start := p.pos
+	v := 0
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		v = v*10 + int(p.advance()-'0')
+		if v > maxRepeat+1 {
+			break
+		}
+	}
+	return v, p.pos > start
+}
+
+func (p *parser) parseAtom() (*Node, error) {
+	switch b := p.peek(); b {
+	case '(':
+		p.advance()
+		n, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(')') {
+			return nil, p.errorf("missing )")
+		}
+		return n, nil
+	case ')':
+		return nil, p.errorf("unmatched )")
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.advance()
+		return &Node{Op: OpAny}, nil
+	case '^':
+		p.advance()
+		return &Node{Op: OpBegin}, nil
+	case '$':
+		p.advance()
+		return &Node{Op: OpEnd}, nil
+	case '*', '+', '?':
+		return nil, p.errorf("quantifier %q with nothing to repeat", b)
+	case '\\':
+		p.advance()
+		if p.eof() {
+			return nil, p.errorf("trailing backslash")
+		}
+		return p.parseEscape()
+	default:
+		p.advance()
+		return &Node{Op: OpLit, Lit: b}, nil
+	}
+}
+
+// parseEscape handles \x escapes. Beyond identity escapes of
+// metacharacters, the common Perl classes \d \w \s (and negations) are
+// accepted since PCRE — the paper's software baseline — supports them.
+func (p *parser) parseEscape() (*Node, error) {
+	b := p.advance()
+	switch b {
+	case 'd':
+		return &Node{Op: OpClass, Ranges: []Range{{'0', '9'}}}, nil
+	case 'D':
+		return &Node{Op: OpClass, Ranges: []Range{{'0', '9'}}, Negated: true}, nil
+	case 'w':
+		return &Node{Op: OpClass, Ranges: wordRanges()}, nil
+	case 'W':
+		return &Node{Op: OpClass, Ranges: wordRanges(), Negated: true}, nil
+	case 's':
+		return &Node{Op: OpClass, Ranges: spaceRanges()}, nil
+	case 'S':
+		return &Node{Op: OpClass, Ranges: spaceRanges(), Negated: true}, nil
+	case 'n':
+		return &Node{Op: OpLit, Lit: '\n'}, nil
+	case 't':
+		return &Node{Op: OpLit, Lit: '\t'}, nil
+	case 'r':
+		return &Node{Op: OpLit, Lit: '\r'}, nil
+	default:
+		return &Node{Op: OpLit, Lit: b}, nil
+	}
+}
+
+func wordRanges() []Range {
+	return []Range{{'0', '9'}, {'A', 'Z'}, {'_', '_'}, {'a', 'z'}}
+}
+
+func spaceRanges() []Range {
+	return []Range{{'\t', '\r'}, {' ', ' '}}
+}
+
+// parseClass parses [...] character classes.
+func (p *parser) parseClass() (*Node, error) {
+	p.advance() // '['
+	n := &Node{Op: OpClass}
+	if p.accept('^') {
+		n.Negated = true
+	}
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errorf("missing ]")
+		}
+		if p.peek() == ']' && !first {
+			p.advance()
+			break
+		}
+		first = false
+		lo, err := p.classByte()
+		if err != nil {
+			return nil, err
+		}
+		hi := lo
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.advance() // '-'
+			hi, err = p.classByte()
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, p.errorf("invalid class range %c-%c", lo, hi)
+			}
+		}
+		n.Ranges = append(n.Ranges, Range{lo, hi})
+	}
+	if len(n.Ranges) == 0 {
+		return nil, p.errorf("empty character class")
+	}
+	return n, nil
+}
+
+func (p *parser) classByte() (byte, error) {
+	b := p.advance()
+	if b != '\\' {
+		return b, nil
+	}
+	if p.eof() {
+		return 0, p.errorf("trailing backslash in class")
+	}
+	e := p.advance()
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	default:
+		return e, nil
+	}
+}

@@ -1,0 +1,337 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, pat string) *Node {
+	t.Helper()
+	n, err := Parse(pat)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", pat, err)
+	}
+	return n
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// The four evaluation queries (§7.1.1) plus the hybrid query QH and
+	// the running example.
+	pats := []string{
+		`Strasse`,
+		`(Strasse|Str\.).*(8[0-9]{4})`,
+		`[0-9]+(USD|EUR|GBP)`,
+		`[A-Za-z]{3}\:[0-9]{4}`,
+		`(Strasse|Str\.).*(8[0-9]{4}).*delivery`,
+		`(a|b).*c`,
+		`(Blue|Gray).*skies`,
+	}
+	for _, pat := range pats {
+		n := mustParse(t, pat)
+		if n == nil {
+			t.Fatalf("nil AST for %q", pat)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	n := mustParse(t, `(a|b).*c`)
+	if n.Op != OpConcat || len(n.Subs) != 3 {
+		t.Fatalf("want concat of 3, got %v/%d", n.Op, len(n.Subs))
+	}
+	if n.Subs[0].Op != OpAlt {
+		t.Errorf("first sub = %v, want alt", n.Subs[0].Op)
+	}
+	if n.Subs[1].Op != OpStar || n.Subs[1].Subs[0].Op != OpAny {
+		t.Errorf("second sub not .* : %v", n.Subs[1].Op)
+	}
+	if n.Subs[2].Op != OpLit || n.Subs[2].Lit != 'c' {
+		t.Errorf("third sub not literal c")
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	n := mustParse(t, `[A-Za-z0-9_]`)
+	if n.Op != OpClass || len(n.Ranges) != 4 {
+		t.Fatalf("class: %v %v", n.Op, n.Ranges)
+	}
+	want := []Range{{'A', 'Z'}, {'a', 'z'}, {'0', '9'}, {'_', '_'}}
+	for i, r := range want {
+		if n.Ranges[i] != r {
+			t.Errorf("range %d = %v, want %v", i, n.Ranges[i], r)
+		}
+	}
+	neg := mustParse(t, `[^0-9]`)
+	if !neg.Negated {
+		t.Error("negated class not flagged")
+	}
+	if neg.MatchesByte('5', false) {
+		t.Error("[^0-9] matched a digit")
+	}
+	if !neg.MatchesByte('x', false) {
+		t.Error("[^0-9] rejected x")
+	}
+	// ']' first in class is a literal; '-' last is a literal.
+	lit := mustParse(t, `[]a-]`)
+	if lit.Op != OpClass || len(lit.Ranges) != 3 {
+		t.Fatalf("literal-]-class: %+v", lit)
+	}
+}
+
+func TestParseRepeat(t *testing.T) {
+	n := mustParse(t, `a{3}`)
+	if n.Op != OpRepeat || n.Min != 3 || n.Max != 3 {
+		t.Errorf("a{3}: %+v", n)
+	}
+	n = mustParse(t, `a{2,5}`)
+	if n.Min != 2 || n.Max != 5 {
+		t.Errorf("a{2,5}: %+v", n)
+	}
+	n = mustParse(t, `a{2,}`)
+	if n.Min != 2 || n.Max != -1 {
+		t.Errorf("a{2,}: %+v", n)
+	}
+	// Non-numeric '{' is a literal, as in PCRE.
+	n = mustParse(t, `a{x`)
+	if n.String() != `a\{x` && n.String() != `a{x` {
+		t.Errorf("a{x reparse = %q", n.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `(`, `)`, `a)`, `(a`, `[`, `[]`, `[z-a]`, `*`, `+a`, `?`,
+		`a{5,2}`, `a{2000}`, `a\`, `a**`, `^*`, `[\`,
+	}
+	for _, pat := range bad {
+		if _, err := Parse(pat); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", pat)
+		}
+	}
+	var pe *ParseError
+	_, err := Parse(`(a`)
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type: %T", err)
+	}
+	if pe.Pattern != `(a` {
+		t.Errorf("ParseError.Pattern = %q", pe.Pattern)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("ParseError message lacks offset: %q", pe.Error())
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		pat  string
+		want bool
+	}{
+		{`a*`, true}, {`a+`, false}, {`a?`, true}, {`a`, false},
+		{`a|b*`, true}, {`ab`, false}, {`a{0,3}`, true}, {`a{1,3}`, false},
+		{`(a*)(b?)`, true}, {`(a*)b`, false},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.pat)
+		if got := n.Nullable(); got != c.want {
+			t.Errorf("Nullable(%q) = %v, want %v", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestMatchesByteFolding(t *testing.T) {
+	lit := &Node{Op: OpLit, Lit: 'S'}
+	if !lit.MatchesByte('S', false) || lit.MatchesByte('s', false) {
+		t.Error("case-sensitive literal wrong")
+	}
+	if !lit.MatchesByte('s', true) {
+		t.Error("folded literal should match s")
+	}
+	cls := mustParse(t, `[a-f]`)
+	if !cls.MatchesByte('D', true) {
+		t.Error("folded class should match D")
+	}
+	if cls.MatchesByte('D', false) {
+		t.Error("unfolded class matched D")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	pats := []string{
+		`Strasse`,
+		`(Strasse|Str\.).*(8[0-9]{4})`,
+		`[0-9]+(USD|EUR|GBP)`,
+		`[A-Za-z]{3}:[0-9]{4}`,
+		`(a|b).*c`,
+		`a{2,}b?`,
+		`^abc$`,
+	}
+	for _, pat := range pats {
+		n := mustParse(t, pat)
+		re := n.String()
+		n2, err := Parse(re)
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", pat, re, err)
+		}
+		if n2.String() != re {
+			t.Errorf("String not a fixpoint: %q -> %q -> %q", pat, re, n2.String())
+		}
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	n := mustParse(t, `(a|b).*c`)
+	count := 0
+	Walk(n, func(*Node) { count++ })
+	// concat + alt + 2 lits + star + any + lit = 7
+	if count != 7 {
+		t.Errorf("Walk visited %d nodes, want 7", count)
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(pat string) bool {
+		// Parser must return errors, never panic, on arbitrary input.
+		if len(pat) > 200 {
+			pat = pat[:200]
+		}
+		_, _ = Parse(pat)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseStringFixpointProperty(t *testing.T) {
+	// Any pattern that parses has a String() that reparses to the same
+	// String(): canonical form is a fixpoint.
+	f := func(pat string) bool {
+		if len(pat) > 60 {
+			pat = pat[:60]
+		}
+		n, err := Parse(pat)
+		if err != nil {
+			return true
+		}
+		s := n.String()
+		n2, err := Parse(s)
+		if err != nil {
+			return s == "" // the empty concat renders to "" which won't reparse
+		}
+		return n2.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeClasses(t *testing.T) {
+	d := mustParse(t, `\d`)
+	if !d.MatchesByte('7', false) || d.MatchesByte('x', false) {
+		t.Error(`\d wrong`)
+	}
+	w := mustParse(t, `\w`)
+	for _, b := range []byte{'a', 'Z', '0', '_'} {
+		if !w.MatchesByte(b, false) {
+			t.Errorf(`\w rejected %c`, b)
+		}
+	}
+	if w.MatchesByte('-', false) {
+		t.Error(`\w matched -`)
+	}
+	s := mustParse(t, `\s`)
+	if !s.MatchesByte(' ', false) || !s.MatchesByte('\t', false) || s.MatchesByte('a', false) {
+		t.Error(`\s wrong`)
+	}
+}
+
+func TestDesugar(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{`a{3}`, `aaa`},
+		{`a{1,3}`, `aa?a?`},
+		{`a{2,}`, `aaa*`},
+		{`a{0,2}`, `a?a?`},
+		{`a{0,0}`, ``},
+		{`(ab){2}c`, `ababc`},
+		{`[0-9]{2}`, `[0-9][0-9]`},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.in)
+		got := Desugar(n).String()
+		if got != c.out {
+			t.Errorf("Desugar(%q) = %q, want %q", c.in, got, c.out)
+		}
+	}
+	if Desugar(nil) != nil {
+		t.Error("Desugar(nil) != nil")
+	}
+}
+
+func TestEscapeSequences(t *testing.T) {
+	cases := []struct {
+		pat   string
+		match byte
+		miss  byte
+	}{
+		{`\D`, 'x', '5'},
+		{`\W`, '-', 'a'},
+		{`\S`, 'a', ' '},
+		{`\n`, '\n', 'n'},
+		{`\t`, '\t', 't'},
+		{`\r`, '\r', 'r'},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.pat)
+		if !n.MatchesByte(c.match, false) {
+			t.Errorf("%s should match %q", c.pat, c.match)
+		}
+		if n.MatchesByte(c.miss, false) {
+			t.Errorf("%s should not match %q", c.pat, c.miss)
+		}
+	}
+	// Escapes inside classes.
+	n := mustParse(t, `[\t\n\r]`)
+	for _, b := range []byte{'\t', '\n', '\r'} {
+		if !n.MatchesByte(b, false) {
+			t.Errorf("class escape missed %q", b)
+		}
+	}
+	if n.MatchesByte('t', false) {
+		t.Error("class escape matched literal t")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct{ pat, want string }{
+		{`a\.b`, `a\.b`},
+		{`[a\-b]`, `[a\-b]`},
+		{`[\]]`, `[\]]`},
+		{`(ab|cd)+`, `(ab|cd)+`},
+		{`(ab)?`, `(ab)?`},
+		{`a{2,}`, `a{2,}`},
+		{`a{2,5}`, `a{2,5}`},
+		{`a{3}`, `a{3}`},
+		{`^a$`, `^a$`},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.pat)
+		if got := n.String(); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpStar.String() != "star" || Op(99).String() == "" {
+		t.Error("Op.String broken")
+	}
+}

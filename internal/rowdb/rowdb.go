@@ -1,0 +1,333 @@
+// Package rowdb is the commercial row store ("DBx") stand-in the paper
+// compares against: rows are stored in packed record format, queries run
+// row-at-a-time through a volcano-style iterator, and — unlike MonetDB —
+// strictly one thread executes each query (§7.5: "DBx uses strictly one
+// thread per query"). CONTAINS runs on a pre-built inverted index that must
+// be rebuilt to see new rows (§7.2's >20-minute rebuild).
+package rowdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"doppiodb/internal/invindex"
+	"doppiodb/internal/perf"
+	"doppiodb/internal/softregex"
+	"doppiodb/internal/strmatch"
+)
+
+// Kind is a column type.
+type Kind int
+
+// Column kinds.
+const (
+	KindInt Kind = iota
+	KindString
+)
+
+// ColDef declares a column.
+type ColDef struct {
+	Name string
+	Kind Kind
+}
+
+// Table is a row-format table: records are packed back to back in an
+// arena; each record holds a 4-byte int or a uvarint-length-prefixed string
+// per column.
+type Table struct {
+	Name string
+	Cols []ColDef
+
+	arena   []byte
+	offsets []int // record start offsets
+	byName  map[string]int
+
+	indexes map[string]*invindex.Index // pre-built CONTAINS indexes
+	indexed map[string]int             // rows covered at build time
+}
+
+// DB is the row-store instance.
+type DB struct {
+	tables map[string]*Table
+}
+
+// New creates an empty row store.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table.
+func (db *DB) CreateTable(name string, cols ...ColDef) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("rowdb: table %q exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("rowdb: table needs columns")
+	}
+	t := &Table{
+		Name:    name,
+		Cols:    cols,
+		byName:  make(map[string]int),
+		indexes: make(map[string]*invindex.Index),
+		indexed: make(map[string]int),
+	}
+	for i, c := range cols {
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("rowdb: duplicate column %q", c.Name)
+		}
+		t.byName[c.Name] = i
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("rowdb: no table %q", name)
+	}
+	return t, nil
+}
+
+// Rows returns the table's row count.
+func (t *Table) Rows() int { return len(t.offsets) }
+
+// Insert appends one row.
+func (t *Table) Insert(vals ...any) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("rowdb: %d values for %d columns", len(vals), len(t.Cols))
+	}
+	start := len(t.arena)
+	for i, v := range vals {
+		switch t.Cols[i].Kind {
+		case KindInt:
+			var x int32
+			switch n := v.(type) {
+			case int32:
+				x = n
+			case int:
+				x = int32(n)
+			default:
+				t.arena = t.arena[:start]
+				return fmt.Errorf("rowdb: column %s wants int, got %T", t.Cols[i].Name, v)
+			}
+			t.arena = binary.LittleEndian.AppendUint32(t.arena, uint32(x))
+		case KindString:
+			s, ok := v.(string)
+			if !ok {
+				t.arena = t.arena[:start]
+				return fmt.Errorf("rowdb: column %s wants string, got %T", t.Cols[i].Name, v)
+			}
+			t.arena = binary.AppendUvarint(t.arena, uint64(len(s)))
+			t.arena = append(t.arena, s...)
+		}
+	}
+	t.offsets = append(t.offsets, start)
+	return nil
+}
+
+// Row is a decoded record view; string fields alias the arena.
+type Row struct {
+	Ints []int32
+	Strs [][]byte
+	// per-column value index into Ints/Strs
+	t *Table
+}
+
+// Int returns the named int column's value.
+func (r *Row) Int(name string) (int32, error) {
+	i, ok := r.t.byName[name]
+	if !ok || r.t.Cols[i].Kind != KindInt {
+		return 0, fmt.Errorf("rowdb: no int column %q", name)
+	}
+	// Count preceding int columns.
+	k := 0
+	for j := 0; j < i; j++ {
+		if r.t.Cols[j].Kind == KindInt {
+			k++
+		}
+	}
+	return r.Ints[k], nil
+}
+
+// Str returns the named string column's bytes.
+func (r *Row) Str(name string) ([]byte, error) {
+	i, ok := r.t.byName[name]
+	if !ok || r.t.Cols[i].Kind != KindString {
+		return nil, fmt.Errorf("rowdb: no string column %q", name)
+	}
+	k := 0
+	for j := 0; j < i; j++ {
+		if r.t.Cols[j].Kind == KindString {
+			k++
+		}
+	}
+	return r.Strs[k], nil
+}
+
+// Scan is the volcano iterator: it decodes records one at a time.
+type Scan struct {
+	t   *Table
+	idx int
+	row Row
+}
+
+// NewScan opens an iterator over the table.
+func (t *Table) NewScan() *Scan {
+	return &Scan{t: t, row: Row{t: t}}
+}
+
+// Next decodes the next record; it returns nil at the end.
+func (s *Scan) Next() *Row {
+	if s.idx >= len(s.t.offsets) {
+		return nil
+	}
+	off := s.t.offsets[s.idx]
+	s.idx++
+	r := &s.row
+	r.Ints = r.Ints[:0]
+	r.Strs = r.Strs[:0]
+	buf := s.t.arena
+	for _, c := range s.t.Cols {
+		switch c.Kind {
+		case KindInt:
+			r.Ints = append(r.Ints, int32(binary.LittleEndian.Uint32(buf[off:])))
+			off += 4
+		case KindString:
+			n, sz := binary.Uvarint(buf[off:])
+			off += sz
+			r.Strs = append(r.Strs, buf[off:off+int(n):off+int(n)])
+			off += int(n)
+		}
+	}
+	return r
+}
+
+// Predicate filters rows and reports per-row work.
+type Predicate interface {
+	Eval(r *Row) (bool, perf.Work, error)
+}
+
+// likePred implements LIKE/ILIKE.
+type likePred struct {
+	col string
+	p   *strmatch.LikePattern
+}
+
+// Like builds a LIKE predicate over a string column.
+func Like(col, pattern string, foldCase bool) (Predicate, error) {
+	p, err := strmatch.CompileLike(pattern, foldCase)
+	if err != nil {
+		return nil, err
+	}
+	return &likePred{col: col, p: p}, nil
+}
+
+func (l *likePred) Eval(r *Row) (bool, perf.Work, error) {
+	s, err := r.Str(l.col)
+	if err != nil {
+		return false, perf.Work{}, err
+	}
+	ok := l.p.Match(s)
+	return ok, perf.Work{
+		Bytes:       uint64(len(s)),
+		Comparisons: uint64(len(s)/3 + 8*l.p.Segments()),
+	}, nil
+}
+
+// regexpPred implements REGEXP_LIKE via the backtracking engine.
+type regexpPred struct {
+	col string
+	bt  *softregex.Backtracker
+}
+
+// Regexp builds a REGEXP_LIKE predicate over a string column.
+func Regexp(col, pattern string, foldCase bool) (Predicate, error) {
+	bt, err := softregex.NewBacktracker(pattern, foldCase)
+	if err != nil {
+		return nil, err
+	}
+	return &regexpPred{col: col, bt: bt}, nil
+}
+
+func (p *regexpPred) Eval(r *Row) (bool, perf.Work, error) {
+	s, err := r.Str(p.col)
+	if err != nil {
+		return false, perf.Work{}, err
+	}
+	pos, steps := p.bt.Match(s)
+	return pos != 0, perf.Work{Bytes: uint64(len(s)), Steps: steps, RegexRows: 1}, nil
+}
+
+// SelectCount runs SELECT count(*) WHERE pred over the table with one
+// thread (DBx's execution model), returning the count and the work
+// performed.
+func (db *DB) SelectCount(t *Table, pred Predicate) (int, perf.Work, error) {
+	var work perf.Work
+	count := 0
+	sc := t.NewScan()
+	for r := sc.Next(); r != nil; r = sc.Next() {
+		ok, w, err := pred.Eval(r)
+		if err != nil {
+			return 0, work, err
+		}
+		work.Rows++
+		work.Add(w)
+		if ok {
+			count++
+		}
+	}
+	return count, work, nil
+}
+
+// BuildContainsIndex (re)builds the CONTAINS index over a string column,
+// covering all current rows; the caller charges perf.Model.IndexBuild.
+func (db *DB) BuildContainsIndex(t *Table, col string) (rows int, err error) {
+	i, ok := t.byName[col]
+	if !ok || t.Cols[i].Kind != KindString {
+		return 0, fmt.Errorf("rowdb: no string column %q", col)
+	}
+	var all []string
+	sc := t.NewScan()
+	for r := sc.Next(); r != nil; r = sc.Next() {
+		s, err := r.Str(col)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, string(s))
+	}
+	t.indexes[col] = invindex.Build(all, true)
+	t.indexed[col] = len(all)
+	return len(all), nil
+}
+
+// Contains errors.
+var (
+	ErrNoIndex    = errors.New("rowdb: CONTAINS requires a pre-built index")
+	ErrStaleIndex = errors.New("rowdb: CONTAINS index is stale; rebuild it")
+)
+
+// ContainsCount answers SELECT count(*) WHERE CONTAINS(col, query) using
+// the pre-built index. It fails when the index is missing or stale — the
+// maintenance burden the paper's scan-based operator avoids.
+func (db *DB) ContainsCount(t *Table, col, query string) (int, perf.Work, error) {
+	ix, ok := t.indexes[col]
+	if !ok {
+		return 0, perf.Work{}, ErrNoIndex
+	}
+	if t.indexed[col] != t.Rows() {
+		return 0, perf.Work{}, ErrStaleIndex
+	}
+	oids, lookups, err := ix.Search(query)
+	if err != nil {
+		return 0, perf.Work{}, err
+	}
+	st := ix.Stats()
+	var postings uint64
+	if st.Words > 0 {
+		postings = uint64(lookups) * uint64(st.Postings/st.Words)
+	}
+	return len(oids), perf.Work{Rows: len(oids), Postings: postings}, nil
+}

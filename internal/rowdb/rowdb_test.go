@@ -1,0 +1,172 @@
+package rowdb
+
+import (
+	"testing"
+
+	"doppiodb/internal/workload"
+)
+
+func loadAddresses(t *testing.T, n int, kind workload.HitKind, sel float64) (*DB, *Table, int) {
+	t.Helper()
+	db := New()
+	tbl, err := db.CreateTable("address_table",
+		ColDef{"id", KindInt}, ColDef{"address_string", KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, hits := workload.NewGenerator(8, 64).Table(n, kind, sel)
+	for i, r := range rows {
+		if err := tbl.Insert(int32(i), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tbl, hits
+}
+
+func TestInsertAndScan(t *testing.T) {
+	db := New()
+	tbl, _ := db.CreateTable("t", ColDef{"id", KindInt}, ColDef{"s", KindString}, ColDef{"n", KindInt})
+	tbl.Insert(1, "alpha", 10)
+	tbl.Insert(int32(2), "beta", 20)
+	sc := tbl.NewScan()
+	r := sc.Next()
+	if v, _ := r.Int("id"); v != 1 {
+		t.Errorf("id = %d", v)
+	}
+	if s, _ := r.Str("s"); string(s) != "alpha" {
+		t.Errorf("s = %q", s)
+	}
+	if v, _ := r.Int("n"); v != 10 {
+		t.Errorf("n = %d", v)
+	}
+	r = sc.Next()
+	if s, _ := r.Str("s"); string(s) != "beta" {
+		t.Errorf("s = %q", s)
+	}
+	if sc.Next() != nil {
+		t.Error("scan did not end")
+	}
+	if _, err := r.Int("s"); err == nil {
+		t.Error("Int over string column accepted")
+	}
+	if _, err := r.Str("missing"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestInsertTypeErrors(t *testing.T) {
+	db := New()
+	tbl, _ := db.CreateTable("t", ColDef{"id", KindInt}, ColDef{"s", KindString})
+	if err := tbl.Insert("x", "y"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if err := tbl.Insert(1, 2); err == nil {
+		t.Error("bad string accepted")
+	}
+	if err := tbl.Insert(1); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if tbl.Rows() != 0 {
+		t.Errorf("failed inserts left %d rows", tbl.Rows())
+	}
+	tbl.Insert(1, "ok")
+	if tbl.Rows() != 1 {
+		t.Error("good insert lost")
+	}
+}
+
+func TestSelectCountLike(t *testing.T) {
+	db, tbl, hits := loadAddresses(t, 10_000, workload.HitQ1, 0.2)
+	pred, err := Like("address_string", workload.Q1Like, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, work, err := db.SelectCount(tbl, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != hits {
+		t.Errorf("LIKE count = %d, want %d", n, hits)
+	}
+	if work.Rows != 10_000 || work.Comparisons == 0 {
+		t.Errorf("work: %+v", work)
+	}
+}
+
+func TestSelectCountRegexp(t *testing.T) {
+	db, tbl, hits := loadAddresses(t, 8_000, workload.HitQ2, 0.2)
+	pred, err := Regexp("address_string", workload.Q2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, work, err := db.SelectCount(tbl, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != hits {
+		t.Errorf("REGEXP count = %d, want %d", n, hits)
+	}
+	if work.Steps == 0 || work.RegexRows != 8_000 {
+		t.Errorf("work: %+v", work)
+	}
+}
+
+func TestContainsRequiresFreshIndex(t *testing.T) {
+	db, tbl, hits := loadAddresses(t, 5_000, workload.HitTable1, 0.2)
+	if _, _, err := db.ContainsCount(tbl, "address_string", workload.Table1Contains); err != ErrNoIndex {
+		t.Errorf("err = %v, want ErrNoIndex", err)
+	}
+	rows, err := db.BuildContainsIndex(tbl, "address_string")
+	if err != nil || rows != 5_000 {
+		t.Fatalf("build: %d %v", rows, err)
+	}
+	n, work, err := db.ContainsCount(tbl, "address_string", workload.Table1Contains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != hits {
+		t.Errorf("CONTAINS = %d, want %d", n, hits)
+	}
+	if work.Postings == 0 {
+		t.Error("no postings counted")
+	}
+	// New rows make the index stale.
+	tbl.Insert(9999, "Alan Turing Cheshire again")
+	if _, _, err := db.ContainsCount(tbl, "address_string", workload.Table1Contains); err != ErrStaleIndex {
+		t.Errorf("err = %v, want ErrStaleIndex", err)
+	}
+	if _, err := db.BuildContainsIndex(tbl, "id"); err == nil {
+		t.Error("index over int column accepted")
+	}
+}
+
+func TestRowAndColumnEnginesAgree(t *testing.T) {
+	// The two database substrates must produce identical counts on
+	// identical data for every operator class.
+	db, tbl, hits := loadAddresses(t, 6_000, workload.HitQ4, 0.25)
+	pred, _ := Regexp("address_string", workload.Q4, false)
+	n, _, err := db.SelectCount(tbl, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != hits {
+		t.Errorf("count = %d, want %d", n, hits)
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := New()
+	if _, err := db.CreateTable("t"); err == nil {
+		t.Error("no columns accepted")
+	}
+	db.CreateTable("t", ColDef{"a", KindInt})
+	if _, err := db.CreateTable("t", ColDef{"a", KindInt}); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := db.CreateTable("u", ColDef{"a", KindInt}, ColDef{"a", KindInt}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Error("missing table found")
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim provides the timing primitives shared by every simulated
+// hardware component: picosecond-resolution time, clock domains, and cycle
+// accounting. All FPGA-side latencies in the simulator are expressed as
+// cycles of a Clock and converted to Time for aggregation, so that changing
+// a clock frequency (as the paper does in §7.9 when trading throughput for
+// state-graph size) consistently rescales every derived latency.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a simulated duration or instant with picosecond resolution.
+// Picoseconds in an int64 cover ~106 days of simulated time, far beyond any
+// experiment in the paper (the longest run is a few hundred seconds).
+type Time int64
+
+// Common units.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration (nanosecond resolution, rounding
+// toward zero).
+func (t Time) Duration() time.Duration { return time.Duration(t / Nanosecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromDuration converts a time.Duration to a Time.
+func FromDuration(d time.Duration) Time { return Time(d) * Nanosecond }
+
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", t/Nanosecond)
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Clock is a fixed-frequency clock domain. The prototype platform runs the
+// QPI endpoint and most of the fabric at 200 MHz while the Processing Units
+// are clocked at 400 MHz (§5.1).
+type Clock struct {
+	// HZ is the frequency in cycles per second.
+	HZ int64
+}
+
+// Common clock domains of the prototype.
+var (
+	// FabricClock is the 200 MHz domain: QPI endpoint, String Reader,
+	// arbitration logic, Output Collector.
+	FabricClock = Clock{HZ: 200_000_000}
+	// PUClock is the 400 MHz Processing Unit domain.
+	PUClock = Clock{HZ: 400_000_000}
+)
+
+// Period returns the duration of one cycle.
+func (c Clock) Period() Time {
+	if c.HZ <= 0 {
+		return 0
+	}
+	return Time(int64(Second) / c.HZ)
+}
+
+// Cycles converts a cycle count in this domain to a Time.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.Period() }
+
+// CyclesFor returns the number of cycles (rounded up) that span d.
+func (c Clock) CyclesFor(d Time) int64 {
+	p := c.Period()
+	if p <= 0 || d <= 0 {
+		return 0
+	}
+	return int64((d + p - 1) / p)
+}
+
+func (c Clock) String() string {
+	return fmt.Sprintf("%dMHz", c.HZ/1_000_000)
+}
+
+// Counter accumulates simulated time spent in named phases. Components use
+// it to expose the breakdown the paper reports in Fig. 10 (database, UDF
+// software part, HAL, hardware processing, config generation).
+type Counter struct {
+	phases []phase
+}
+
+type phase struct {
+	name string
+	t    Time
+}
+
+// Add accrues d to the named phase, creating it on first use. Phase order is
+// first-use order, which the breakdown printers preserve.
+func (ct *Counter) Add(name string, d Time) {
+	for i := range ct.phases {
+		if ct.phases[i].name == name {
+			ct.phases[i].t += d
+			return
+		}
+	}
+	ct.phases = append(ct.phases, phase{name, d})
+}
+
+// Get returns the accumulated time of a phase (zero if absent).
+func (ct *Counter) Get(name string) Time {
+	for _, p := range ct.phases {
+		if p.name == name {
+			return p.t
+		}
+	}
+	return 0
+}
+
+// Total returns the sum over all phases.
+func (ct *Counter) Total() Time {
+	var sum Time
+	for _, p := range ct.phases {
+		sum += p.t
+	}
+	return sum
+}
+
+// Phases returns the phase names in first-use order.
+func (ct *Counter) Phases() []string {
+	names := make([]string, len(ct.phases))
+	for i, p := range ct.phases {
+		names[i] = p.name
+	}
+	return names
+}
+
+// Reset clears all phases.
+func (ct *Counter) Reset() { ct.phases = ct.phases[:0] }

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2.0", got)
+	}
+	if got := FromSeconds(0.5); got != 500*Millisecond {
+		t.Errorf("FromSeconds(0.5) = %v, want 500ms", got)
+	}
+	if got := FromDuration(3 * time.Millisecond); got != 3*Millisecond {
+		t.Errorf("FromDuration = %v, want 3ms", got)
+	}
+	if got := (1500 * Microsecond).Duration(); got != 1500*time.Microsecond {
+		t.Errorf("Duration() = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{300 * Nanosecond, "300ns"},
+		{2500 * Nanosecond, "2.500µs"},
+		{3 * Millisecond, "3.000ms"},
+		{8864 * Millisecond, "8.864s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestClockPeriod(t *testing.T) {
+	if got := FabricClock.Period(); got != 5*Nanosecond {
+		t.Errorf("200MHz period = %v, want 5ns", got)
+	}
+	if got := PUClock.Period(); got != 2500*Picosecond {
+		t.Errorf("400MHz period = %v, want 2.5ns", got)
+	}
+	var zero Clock
+	if zero.Period() != 0 {
+		t.Error("zero clock should have zero period")
+	}
+}
+
+func TestClockCycles(t *testing.T) {
+	// 512 cycles at 200 MHz = 2.56 µs: the String Reader's offset-batch
+	// issue time used throughout the engine model.
+	if got := FabricClock.Cycles(512); got != 2560*Nanosecond {
+		t.Errorf("512 fabric cycles = %v, want 2.56µs", got)
+	}
+	if got := PUClock.Cycles(64); got != 160*Nanosecond {
+		t.Errorf("64 PU cycles = %v, want 160ns", got)
+	}
+}
+
+func TestCyclesFor(t *testing.T) {
+	if got := FabricClock.CyclesFor(5 * Nanosecond); got != 1 {
+		t.Errorf("CyclesFor(5ns) = %d, want 1", got)
+	}
+	if got := FabricClock.CyclesFor(6 * Nanosecond); got != 2 {
+		t.Errorf("CyclesFor(6ns) = %d, want 2 (rounds up)", got)
+	}
+	if got := FabricClock.CyclesFor(0); got != 0 {
+		t.Errorf("CyclesFor(0) = %d, want 0", got)
+	}
+	var zero Clock
+	if zero.CyclesFor(Second) != 0 {
+		t.Error("zero clock CyclesFor should be 0")
+	}
+}
+
+func TestClockString(t *testing.T) {
+	if got := FabricClock.String(); got != "200MHz" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCounterPhases(t *testing.T) {
+	var ct Counter
+	ct.Add("db", 3*Millisecond)
+	ct.Add("hal", 1*Millisecond)
+	ct.Add("db", 2*Millisecond)
+	if got := ct.Get("db"); got != 5*Millisecond {
+		t.Errorf("Get(db) = %v, want 5ms", got)
+	}
+	if got := ct.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %v, want 0", got)
+	}
+	if got := ct.Total(); got != 6*Millisecond {
+		t.Errorf("Total = %v, want 6ms", got)
+	}
+	names := ct.Phases()
+	if len(names) != 2 || names[0] != "db" || names[1] != "hal" {
+		t.Errorf("Phases = %v, want [db hal] in first-use order", names)
+	}
+	ct.Reset()
+	if ct.Total() != 0 || len(ct.Phases()) != 0 {
+		t.Error("Reset did not clear counter")
+	}
+}
+
+func TestCyclesRoundTripProperty(t *testing.T) {
+	// For any non-negative cycle count, converting to Time and back must
+	// be exact for clocks whose period divides a picosecond multiple.
+	f := func(n uint16) bool {
+		c := FabricClock
+		return c.CyclesFor(c.Cycles(int64(n))) == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSecondsRoundTripProperty(t *testing.T) {
+	f := func(ms uint16) bool {
+		s := float64(ms) / 1000.0
+		got := FromSeconds(s)
+		want := Time(ms) * Millisecond
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= Nanosecond // float64 division of ms/1000 is not exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

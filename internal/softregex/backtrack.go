@@ -1,0 +1,179 @@
+// Package softregex is the software regular-expression substrate standing
+// in for PCRE, the library MonetDB's REGEXP_LIKE uses (§4.1). Three engines
+// are provided:
+//
+//   - Backtracker — a recursive backtracking matcher with PCRE-like cost
+//     behaviour: work grows with pattern complexity, and wildcards force
+//     rescanning. This is what the CPU baselines in the evaluation run.
+//   - Thompson — an NFA simulation with linear-time guarantees, one of the
+//     alternatives §8.2 discusses.
+//   - DFA — a lazily constructed deterministic automaton, fast per byte but
+//     subject to the state-explosion problem the paper cites ([41]).
+//
+// All engines implement unanchored search with the same byte-wise dialect
+// as internal/regex and report the work they performed so the calibrated
+// performance model can convert it into simulated CPU time.
+package softregex
+
+import (
+	"doppiodb/internal/regex"
+	"doppiodb/internal/strmatch"
+)
+
+// Backtracker is a compiled backtracking matcher.
+type Backtracker struct {
+	ast  *regex.Node
+	fold bool
+	src  string
+	// prescan, when set by SetStartOptimization, skips to occurrences
+	// of the pattern's required literal prefix before attempting a
+	// match.
+	prescan   *strmatch.BoyerMoore
+	prefixLen int
+}
+
+// NewBacktracker parses and compiles a pattern.
+func NewBacktracker(pattern string, foldCase bool) (*Backtracker, error) {
+	ast, err := regex.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Backtracker{ast: regex.Desugar(ast), fold: foldCase, src: pattern}, nil
+}
+
+// Source returns the original pattern.
+func (b *Backtracker) Source() string { return b.src }
+
+// Match searches s for the pattern. It returns the 1-based end position of
+// the leftmost match (0 when there is none) and the number of backtracking
+// steps performed — the work metric the perf model consumes.
+func (b *Backtracker) Match(s []byte) (pos int, steps uint64) {
+	m := &btRun{s: s, fold: b.fold}
+	// A leading ^ pins the single start position.
+	starts := len(s) + 1
+	if hasLeadingBegin(b.ast) {
+		starts = 1
+	}
+	if b.prescan != nil && starts > 1 {
+		// Start optimization: only offsets where the required literal
+		// prefix occurs can begin a match.
+		for start := 0; start < starts; {
+			at := b.prescan.Find(s, start)
+			if at < 0 {
+				return 0, m.steps
+			}
+			end := -1
+			if m.try(b.ast, at, func(e int) bool { end = e; return true }) {
+				return end, m.steps
+			}
+			start = at + 1
+		}
+		return 0, m.steps
+	}
+	for start := 0; start < starts; start++ {
+		end := -1
+		if m.try(b.ast, start, func(e int) bool { end = e; return true }) {
+			return end, m.steps
+		}
+	}
+	return 0, m.steps
+}
+
+// MatchString is Match over a string.
+func (b *Backtracker) MatchString(s string) (int, uint64) {
+	return b.Match([]byte(s))
+}
+
+func hasLeadingBegin(n *regex.Node) bool {
+	for {
+		switch n.Op {
+		case regex.OpBegin:
+			return true
+		case regex.OpConcat:
+			if len(n.Subs) == 0 {
+				return false
+			}
+			n = n.Subs[0]
+		default:
+			return false
+		}
+	}
+}
+
+type btRun struct {
+	s     []byte
+	fold  bool
+	steps uint64
+}
+
+// try matches node n at position i and calls k with the position after the
+// match; it returns true as soon as any continuation succeeds. Positions
+// passed to k are byte offsets; a successful overall match reports i as a
+// 1-based end position (offset of the byte after the match).
+func (m *btRun) try(n *regex.Node, i int, k func(int) bool) bool {
+	m.steps++
+	switch n.Op {
+	case regex.OpEmpty:
+		return k(i)
+	case regex.OpLit, regex.OpClass, regex.OpAny:
+		if i < len(m.s) && n.MatchesByte(m.s[i], m.fold) {
+			return k(i + 1)
+		}
+		return false
+	case regex.OpBegin:
+		return i == 0 && k(i)
+	case regex.OpEnd:
+		return i == len(m.s) && k(i)
+	case regex.OpConcat:
+		var chain func(idx, pos int) bool
+		chain = func(idx, pos int) bool {
+			if idx == len(n.Subs) {
+				return k(pos)
+			}
+			return m.try(n.Subs[idx], pos, func(np int) bool {
+				return chain(idx+1, np)
+			})
+		}
+		return chain(0, i)
+	case regex.OpAlt:
+		for _, sub := range n.Subs {
+			if m.try(sub, i, k) {
+				return true
+			}
+		}
+		return false
+	case regex.OpQuest:
+		if m.try(n.Subs[0], i, k) {
+			return true
+		}
+		return k(i)
+	case regex.OpStar:
+		return m.star(n.Subs[0], i, k)
+	case regex.OpPlus:
+		return m.try(n.Subs[0], i, func(np int) bool {
+			return m.star(n.Subs[0], np, k)
+		})
+	case regex.OpRepeat:
+		// Desugared at construction; a stray OpRepeat (tree built by
+		// hand) is expanded on the fly.
+		return m.try(regex.Desugar(n), i, k)
+	}
+	return false
+}
+
+// star implements greedy X* with a progress guard against nullable bodies.
+func (m *btRun) star(sub *regex.Node, i int, k func(int) bool) bool {
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if m.try(sub, pos, func(np int) bool {
+			if np == pos {
+				return false // no progress: stop iterating
+			}
+			return rec(np)
+		}) {
+			return true
+		}
+		return k(pos)
+	}
+	return rec(i)
+}

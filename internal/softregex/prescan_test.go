@@ -1,0 +1,97 @@
+package softregex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/regex"
+)
+
+func TestRequiredLiteralPrefix(t *testing.T) {
+	cases := []struct {
+		pat, want string
+	}{
+		{`Strasse`, "Strasse"},
+		{`(Strasse|Str\.).*(8[0-9]{4})`, "Str"},
+		{`(Strasse|Str\.).*(8[0-9]{4}).*delivery`, "Str"},
+		{`Alan.*Turing`, "Alan"},
+		{`[0-9]+(USD|EUR)`, ""},
+		{`a?bc`, ""},
+		{`ab+c`, "ab"},
+		{`(abc)+x`, "abc"},
+		{`^abc`, "abc"},
+		{`.*abc`, ""},
+		{`(ab|cd)x`, ""},
+	}
+	for _, c := range cases {
+		ast, err := regex.Parse(c.pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := RequiredLiteralPrefix(regex.Desugar(ast)); got != c.want {
+			t.Errorf("RequiredLiteralPrefix(%q) = %q, want %q", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestStartOptimizationCutsSteps(t *testing.T) {
+	// On rows without the literal prefix, the optimized matcher skips
+	// nearly all backtracking work — PCRE's behaviour, and the reason
+	// the paper's QH baseline is faster than our default model.
+	pat := `(Strasse|Str\.).*(8[0-9]{4}).*delivery`
+	plain, _ := NewBacktracker(pat, false)
+	opt, _ := NewBacktracker(pat, false)
+	if prefix := opt.SetStartOptimization(true); prefix != "Str" {
+		t.Fatalf("prefix = %q", prefix)
+	}
+	miss := "John|Smith|44 Lindenweg|60327|Frankfurt am Main padding...."
+	_, s1 := plain.MatchString(miss)
+	_, s2 := opt.MatchString(miss)
+	if s2*10 > s1 {
+		t.Errorf("prescan steps %d not ≪ plain %d", s2, s1)
+	}
+	// Equivalence on hits and misses.
+	r := rand.New(rand.NewSource(9))
+	inputs := []string{
+		"Koblenzer Strasse 81234 with delivery notes",
+		"Str. 80001 delivery",
+		"Str. 80001 pickup",
+		"Strasse but no zip",
+		"", "Str", "xStrasse 89999 delivery",
+	}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		for j := 0; j < r.Intn(40); j++ {
+			b.WriteString([]string{"S", "t", "r", "a", "8", "1", "d", "elivery ", "x"}[r.Intn(9)])
+		}
+		inputs = append(inputs, b.String())
+	}
+	for _, in := range inputs {
+		p1, _ := plain.MatchString(in)
+		p2, _ := opt.MatchString(in)
+		if p1 != p2 {
+			t.Fatalf("disagreement on %q: plain=%d opt=%d", in, p1, p2)
+		}
+	}
+}
+
+func TestStartOptimizationNoPrefix(t *testing.T) {
+	bt, _ := NewBacktracker(`[0-9]+(USD|EUR)`, false)
+	if prefix := bt.SetStartOptimization(true); prefix != "" {
+		t.Errorf("class-led pattern has prefix %q", prefix)
+	}
+	// Still matches correctly with the no-op setting.
+	if pos, _ := bt.MatchString("pay 42EUR"); pos != 9 {
+		t.Errorf("pos = %d", pos)
+	}
+	bt.SetStartOptimization(false)
+	if pos, _ := bt.MatchString("pay 42EUR"); pos != 9 {
+		t.Errorf("pos after disable = %d", pos)
+	}
+	// Folded patterns skip the optimization.
+	f, _ := NewBacktracker(`strasse`, true)
+	if prefix := f.SetStartOptimization(true); prefix != "" {
+		t.Errorf("folded pattern enabled prescan %q", prefix)
+	}
+}

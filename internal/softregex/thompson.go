@@ -1,0 +1,226 @@
+package softregex
+
+import (
+	"doppiodb/internal/regex"
+)
+
+// Thompson is a compiled Thompson-construction NFA simulated with the
+// classic two-list algorithm (the approach behind RE2 and grep): linear in
+// the input with cost proportional to the number of simultaneously active
+// states — the behaviour §8.2 attributes to software NFAs ("for each new
+// input every active state has to be updated").
+type Thompson struct {
+	states []tState
+	start  int
+	fold   bool
+	src    string
+}
+
+type tOp uint8
+
+const (
+	tByte  tOp = iota // consume one byte matching node
+	tSplit            // epsilon to out and out1
+	tBegin            // assert start of input
+	tEnd              // assert end of input
+	tMatch            // accept
+)
+
+type tState struct {
+	op        tOp
+	node      *regex.Node // for tByte
+	out, out1 int
+}
+
+// NewThompson parses and compiles a pattern.
+func NewThompson(pattern string, foldCase bool) (*Thompson, error) {
+	ast, err := regex.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	t := &Thompson{fold: foldCase, src: pattern}
+	frag := t.build(regex.Desugar(ast))
+	match := t.add(tState{op: tMatch})
+	t.patch(frag.out, match)
+	t.start = frag.start
+	return t, nil
+}
+
+// Source returns the original pattern.
+func (t *Thompson) Source() string { return t.src }
+
+// NumStates returns the NFA state count.
+func (t *Thompson) NumStates() int { return len(t.states) }
+
+type tFrag struct {
+	start int
+	out   []int // state indices whose `out` dangles
+}
+
+func (t *Thompson) add(s tState) int {
+	s.out, s.out1 = -1, -1
+	t.states = append(t.states, s)
+	return len(t.states) - 1
+}
+
+// patch points every dangling edge at target. Dangling slots are encoded as
+// out == -1 first, then out1 == -1 for splits.
+func (t *Thompson) patch(list []int, target int) {
+	for _, idx := range list {
+		s := &t.states[idx]
+		if s.out == -1 {
+			s.out = target
+		} else {
+			s.out1 = target
+		}
+	}
+}
+
+func (t *Thompson) build(n *regex.Node) tFrag {
+	switch n.Op {
+	case regex.OpEmpty:
+		sp := t.add(tState{op: tSplit})
+		return tFrag{start: sp, out: []int{sp, sp}}
+	case regex.OpLit, regex.OpClass, regex.OpAny:
+		st := t.add(tState{op: tByte, node: n})
+		return tFrag{start: st, out: []int{st}}
+	case regex.OpBegin:
+		st := t.add(tState{op: tBegin})
+		return tFrag{start: st, out: []int{st}}
+	case regex.OpEnd:
+		st := t.add(tState{op: tEnd})
+		return tFrag{start: st, out: []int{st}}
+	case regex.OpConcat:
+		f := t.build(n.Subs[0])
+		for _, sub := range n.Subs[1:] {
+			g := t.build(sub)
+			t.patch(f.out, g.start)
+			f.out = g.out
+		}
+		return f
+	case regex.OpAlt:
+		f := t.build(n.Subs[0])
+		for _, sub := range n.Subs[1:] {
+			g := t.build(sub)
+			sp := t.add(tState{op: tSplit})
+			t.states[sp].out = f.start
+			t.states[sp].out1 = g.start
+			f = tFrag{start: sp, out: append(f.out, g.out...)}
+		}
+		return f
+	case regex.OpQuest:
+		f := t.build(n.Subs[0])
+		sp := t.add(tState{op: tSplit})
+		t.states[sp].out = f.start
+		return tFrag{start: sp, out: append(f.out, sp)}
+	case regex.OpStar:
+		f := t.build(n.Subs[0])
+		sp := t.add(tState{op: tSplit})
+		t.states[sp].out = f.start
+		t.patch(f.out, sp)
+		return tFrag{start: sp, out: []int{sp}}
+	case regex.OpPlus:
+		f := t.build(n.Subs[0])
+		sp := t.add(tState{op: tSplit})
+		t.states[sp].out = f.start
+		t.patch(f.out, sp)
+		return tFrag{start: f.start, out: []int{sp}}
+	case regex.OpRepeat:
+		return t.build(regex.Desugar(n))
+	}
+	panic("softregex: unreachable build op")
+}
+
+// stateList is a deduplicated active-state set.
+type stateList struct {
+	dense  []int
+	sparse []uint32
+	gen    uint32
+}
+
+func newStateList(n int) *stateList {
+	return &stateList{sparse: make([]uint32, n)}
+}
+
+func (l *stateList) reset() {
+	l.dense = l.dense[:0]
+	l.gen++
+}
+
+func (l *stateList) has(s int) bool { return l.sparse[s] == l.gen }
+
+func (l *stateList) push(s int) {
+	if l.sparse[s] != l.gen {
+		l.sparse[s] = l.gen
+		l.dense = append(l.dense, s)
+	}
+}
+
+// Match searches s unanchored and returns the 1-based position of the
+// earliest match end (0 when none) plus the work performed, counted as
+// state-visits (the per-byte cost of updating every active state).
+func (t *Thompson) Match(s []byte) (pos int, work uint64) {
+	clist := newStateList(len(t.states))
+	nlist := newStateList(len(t.states))
+	var add func(l *stateList, st, at int, w *uint64) bool
+	add = func(l *stateList, st, at int, w *uint64) bool {
+		if l.has(st) {
+			return false
+		}
+		l.push(st)
+		*w++
+		sd := &t.states[st]
+		switch sd.op {
+		case tSplit:
+			m1 := add(l, sd.out, at, w)
+			m2 := add(l, sd.out1, at, w)
+			return m1 || m2
+		case tBegin:
+			if at == 0 {
+				return add(l, sd.out, at, w)
+			}
+			return false
+		case tEnd:
+			if at == len(s) {
+				return add(l, sd.out, at, w)
+			}
+			return false
+		case tMatch:
+			return true
+		}
+		return false
+	}
+	clist.reset()
+	// An empty match at offset 0 is not expressible in the 1-based end
+	// encoding (the HUDF rejects empty-matching patterns), so its result
+	// is ignored and scanning proceeds to the earliest non-empty end.
+	add(clist, t.start, 0, &work)
+	for i := 0; i < len(s); i++ {
+		nlist.reset()
+		matched := false
+		for _, st := range clist.dense {
+			sd := &t.states[st]
+			if sd.op != tByte {
+				continue
+			}
+			work++
+			if sd.node.MatchesByte(s[i], t.fold) {
+				if add(nlist, sd.out, i+1, &work) {
+					matched = true
+				}
+			}
+		}
+		// Unanchored search: re-arm the start state at every offset.
+		add(nlist, t.start, i+1, &work)
+		clist, nlist = nlist, clist
+		if matched {
+			return i + 1, work
+		}
+	}
+	return 0, work
+}
+
+// MatchString is Match over a string.
+func (t *Thompson) MatchString(s string) (int, uint64) {
+	return t.Match([]byte(s))
+}

@@ -1,0 +1,111 @@
+package sql
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int // -1: none
+}
+
+// SelectItem is one projection.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional AS name
+	Star  bool   // bare `*`
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM element.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a stored table.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryTable is a derived table: (SELECT ...) AS alias (col, ...).
+type SubqueryTable struct {
+	Query   *SelectStmt
+	Alias   string
+	Columns []string // optional column alias list
+}
+
+// JoinTable is `left [LEFT OUTER] JOIN right ON cond`.
+type JoinTable struct {
+	Left, Right TableRef
+	LeftOuter   bool
+	On          Expr
+}
+
+func (*BaseTable) tableRef()     {}
+func (*SubqueryTable) tableRef() {}
+func (*JoinTable) tableRef()     {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// ColumnRef is a (possibly qualified) column reference.
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// BinaryExpr covers AND, OR and comparisons (=, <>, <, <=, >, >=).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// NotExpr is NOT sub.
+type NotExpr struct{ Sub Expr }
+
+// LikeExpr is `col [NOT] LIKE/ILIKE 'pattern'`.
+type LikeExpr struct {
+	Operand Expr
+	Pattern string
+	Fold    bool // ILIKE
+	Negated bool
+}
+
+// FuncCall is a function invocation (REGEXP_LIKE, CONTAINS, REGEXP_FPGA,
+// COUNT).
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Operand Expr
+	Negated bool
+}
+
+func (*ColumnRef) expr()  {}
+func (*StringLit) expr()  {}
+func (*IntLit) expr()     {}
+func (*NullLit) expr()    {}
+func (*BinaryExpr) expr() {}
+func (*NotExpr) expr()    {}
+func (*LikeExpr) expr()   {}
+func (*FuncCall) expr()   {}
+func (*IsNullExpr) expr() {}

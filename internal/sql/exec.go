@@ -1,0 +1,918 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"doppiodb/internal/mdb"
+	"doppiodb/internal/perf"
+)
+
+// PlacementAdvisor is the optimizer hook of the paper's §9 discussion: a
+// cost model that decides whether a REGEXP_LIKE predicate should run on
+// its software implementation or be offloaded to the hardware operator.
+// internal/core's System implements it.
+type PlacementAdvisor interface {
+	// AdviseOffload reports whether the FPGA implementation is expected
+	// to be faster for this pattern over rows strings of avgLen bytes.
+	AdviseOffload(pattern string, rows, avgLen int) bool
+}
+
+// Engine executes SQL over the column store.
+type Engine struct {
+	DB *mdb.DB
+	// Advisor, when set, lets the engine transparently route
+	// REGEXP_LIKE predicates to the hardware UDF when the cost model
+	// predicts a win (§9's "the query optimizer will then be able to
+	// dynamically decide where an operator ... will be executed").
+	Advisor PlacementAdvisor
+}
+
+// NewEngine wraps a database.
+func NewEngine(db *mdb.DB) *Engine { return &Engine{DB: db} }
+
+// Result is a query result with work accounting.
+type Result struct {
+	Cols []string
+	Rows [][]any
+	// Work is the software scan work (for the perf model).
+	Work perf.Work
+	// FastPath names the BAT-algebra shortcut taken: "like", "regexp",
+	// "contains", "udf", or "" for the general executor.
+	FastPath string
+	// UDF carries the HUDF's accounting when the query offloaded.
+	UDF *mdb.UDFResult
+}
+
+// Query parses and executes one SELECT.
+func (e *Engine) Query(src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(stmt)
+}
+
+// Exec executes a parsed statement.
+func (e *Engine) Exec(stmt *SelectStmt) (*Result, error) {
+	if res, ok, err := e.tryFastCount(stmt); err != nil || ok {
+		return res, err
+	}
+	rel, work, udf, err := e.evalFrom(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.runPipeline(stmt, rel)
+	if err != nil {
+		return nil, err
+	}
+	res.Work.Add(work)
+	if udf != nil {
+		res.UDF = udf
+	}
+	return res, nil
+}
+
+// tryFastCount recognizes SELECT count(*) FROM t WHERE <single string
+// predicate> — the paper's microbenchmark shape — and runs it directly on
+// the column engine without materializing rows.
+func (e *Engine) tryFastCount(stmt *SelectStmt) (*Result, bool, error) {
+	bt, ok := stmt.From.(*BaseTable)
+	if !ok || stmt.Where == nil || len(stmt.GroupBy) != 0 ||
+		len(stmt.OrderBy) != 0 || len(stmt.Items) != 1 || stmt.Items[0].Star {
+		return nil, false, nil
+	}
+	cnt, ok := stmt.Items[0].Expr.(*FuncCall)
+	if !ok || cnt.Name != "COUNT" || !cnt.Star {
+		return nil, false, nil
+	}
+	tbl, err := e.DB.Table(bt.Name)
+	if err != nil {
+		return nil, false, err
+	}
+	alias := strings.ToLower(bt.Alias)
+	if alias == "" {
+		alias = strings.ToLower(bt.Name)
+	}
+	mk := func(n int, work perf.Work, path string, udf *mdb.UDFResult) *Result {
+		return &Result{
+			Cols:     []string{colAlias(stmt.Items[0], "count")},
+			Rows:     [][]any{{int64(n)}},
+			Work:     work,
+			FastPath: path,
+			UDF:      udf,
+		}
+	}
+	switch w := stmt.Where.(type) {
+	case *LikeExpr:
+		col, ok := likeColumn(w, alias)
+		if !ok {
+			return nil, false, nil
+		}
+		sel, err := e.DB.SelectLike(tbl, col, w.Pattern, w.Fold)
+		if err != nil {
+			return nil, false, err
+		}
+		n := sel.Count()
+		if w.Negated {
+			n = tbl.Rows() - n
+		}
+		return mk(n, sel.Work, "like", nil), true, nil
+	case *FuncCall:
+		switch w.Name {
+		case "REGEXP_LIKE":
+			colExpr, pat, err := regexpArgs(w)
+			if err != nil {
+				return nil, false, err
+			}
+			ref, ok := colExpr.(*ColumnRef)
+			if !ok {
+				return nil, false, nil
+			}
+			// Cost-based placement (§9): route to the hardware
+			// operator when the advisor predicts a win.
+			if e.Advisor != nil {
+				if _, hasUDF := e.DB.UDF("regexp_fpga"); hasUDF &&
+					e.Advisor.AdviseOffload(pat, tbl.Rows(), avgStringLen(tbl, ref.Column)) {
+					out, err := e.DB.CallUDF("regexp_fpga", tbl, ref.Column, pat)
+					if err != nil {
+						return nil, false, err
+					}
+					n := 0
+					for i := 0; i < out.Result.Count(); i++ {
+						if out.Result.Get(i) != 0 {
+							n++
+						}
+					}
+					return mk(n, out.Work, "regexp->udf", out), true, nil
+				}
+			}
+			sel, err := e.DB.SelectRegexp(tbl, ref.Column, pat, false)
+			if err != nil {
+				return nil, false, err
+			}
+			return mk(sel.Count(), sel.Work, "regexp", nil), true, nil
+		case "CONTAINS":
+			col, q, err := containsArgs(w, tbl)
+			if err != nil {
+				return nil, false, err
+			}
+			sel, err := e.DB.SelectContains(tbl, col, q)
+			if err != nil {
+				return nil, false, err
+			}
+			return mk(sel.Count(), sel.Work, "contains", nil), true, nil
+		}
+		return nil, false, nil
+	case *BinaryExpr:
+		// REGEXP_FPGA(pattern, col) <> 0 — the HUDF predicate.
+		call, zero := fpgaPredicate(w)
+		if call == nil {
+			return nil, false, nil
+		}
+		colExpr, pat, err := regexpFPGAArgs(call)
+		if err != nil {
+			return nil, false, err
+		}
+		ref, ok := colExpr.(*ColumnRef)
+		if !ok {
+			return nil, false, nil
+		}
+		if _, hasUDF := e.DB.UDF("regexp_fpga"); !hasUDF {
+			// No hardware attached: the general evaluator runs the
+			// hardware-equivalent automaton row by row.
+			return nil, false, nil
+		}
+		out, err := e.DB.CallUDF("regexp_fpga", tbl, ref.Column, pat)
+		if err != nil {
+			return nil, false, err
+		}
+		n := 0
+		for i := 0; i < out.Result.Count(); i++ {
+			if out.Result.Get(i) != 0 {
+				n++
+			}
+		}
+		if zero { // `= 0`: non-matching rows
+			n = out.Result.Count() - n
+		}
+		return mk(n, out.Work, "udf", out), true, nil
+	}
+	return nil, false, nil
+}
+
+// avgStringLen estimates the column's average payload length for the cost
+// model (sampled from the heap accounting).
+func avgStringLen(tbl *mdb.Table, colName string) int {
+	col, err := tbl.Column(colName)
+	if err != nil || col.Kind != mdb.KindString || col.Strs.Count() == 0 {
+		return 64
+	}
+	return col.Strs.PayloadBytes() / col.Strs.Count()
+}
+
+// likeColumn extracts the column name of a LIKE over this table.
+func likeColumn(w *LikeExpr, alias string) (string, bool) {
+	ref, ok := w.Operand.(*ColumnRef)
+	if !ok {
+		return "", false
+	}
+	if ref.Table != "" && strings.ToLower(ref.Table) != alias {
+		return "", false
+	}
+	return ref.Column, true
+}
+
+// containsArgs handles CONTAINS('a & b') over the table's single string
+// column and CONTAINS(col, 'a & b').
+func containsArgs(w *FuncCall, tbl *mdb.Table) (col, query string, err error) {
+	switch len(w.Args) {
+	case 1:
+		q, ok := w.Args[0].(*StringLit)
+		if !ok {
+			return "", "", fmt.Errorf("sql: CONTAINS wants a query literal")
+		}
+		for _, c := range tbl.Columns() {
+			if c.Kind == mdb.KindString {
+				if col != "" {
+					return "", "", fmt.Errorf("sql: CONTAINS needs an explicit column (table has several)")
+				}
+				col = c.Name
+			}
+		}
+		if col == "" {
+			return "", "", fmt.Errorf("sql: table %s has no string column", tbl.Name)
+		}
+		return col, q.Val, nil
+	case 2:
+		ref, ok1 := w.Args[0].(*ColumnRef)
+		q, ok2 := w.Args[1].(*StringLit)
+		if !ok1 || !ok2 {
+			return "", "", fmt.Errorf("sql: CONTAINS wants (column, query)")
+		}
+		return ref.Column, q.Val, nil
+	}
+	return "", "", fmt.Errorf("sql: CONTAINS wants 1 or 2 arguments")
+}
+
+// fpgaPredicate matches REGEXP_FPGA(...) <> 0 (or = 0), returning the call
+// and whether the comparison selects non-matches.
+func fpgaPredicate(w *BinaryExpr) (call *FuncCall, selectsZero bool) {
+	if w.Op != "<>" && w.Op != "=" {
+		return nil, false
+	}
+	c, ok := w.Left.(*FuncCall)
+	lit, ok2 := w.Right.(*IntLit)
+	if !ok || !ok2 {
+		c, ok = w.Right.(*FuncCall)
+		lit, ok2 = w.Left.(*IntLit)
+		if !ok || !ok2 {
+			return nil, false
+		}
+	}
+	if c.Name != "REGEXP_FPGA" || lit.Val != 0 {
+		return nil, false
+	}
+	return c, w.Op == "="
+}
+
+// evalFrom materializes a table reference.
+func (e *Engine) evalFrom(ref TableRef) (*relation, perf.Work, *mdb.UDFResult, error) {
+	switch t := ref.(type) {
+	case *BaseTable:
+		rel, err := e.materializeBase(t)
+		return rel, perf.Work{}, nil, err
+	case *SubqueryTable:
+		sub, err := e.Exec(t.Query)
+		if err != nil {
+			return nil, perf.Work{}, nil, err
+		}
+		rel := &relation{rows: sub.Rows}
+		names := sub.Cols
+		if len(t.Columns) > 0 {
+			if len(t.Columns) != len(sub.Cols) {
+				return nil, perf.Work{}, nil, fmt.Errorf(
+					"sql: derived table %s has %d column aliases for %d columns",
+					t.Alias, len(t.Columns), len(sub.Cols))
+			}
+			names = t.Columns
+		}
+		for _, n := range names {
+			rel.cols = append(rel.cols, colMeta{
+				table: strings.ToLower(t.Alias),
+				name:  strings.ToLower(n),
+			})
+		}
+		return rel, sub.Work, sub.UDF, nil
+	case *JoinTable:
+		return e.evalJoin(t)
+	}
+	return nil, perf.Work{}, nil, fmt.Errorf("sql: unsupported table reference %T", ref)
+}
+
+func (e *Engine) materializeBase(t *BaseTable) (*relation, error) {
+	tbl, err := e.DB.Table(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	alias := strings.ToLower(t.Alias)
+	if alias == "" {
+		alias = strings.ToLower(t.Name)
+	}
+	rel := &relation{}
+	for _, c := range tbl.Columns() {
+		rel.cols = append(rel.cols, colMeta{table: alias, name: strings.ToLower(c.Name)})
+	}
+	n := tbl.Rows()
+	rel.rows = make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, len(tbl.Columns()))
+		for j, c := range tbl.Columns() {
+			switch c.Kind {
+			case mdb.KindInt:
+				row[j] = int64(c.Ints.Get(i))
+			case mdb.KindString:
+				row[j] = c.Strs.GetString(i)
+			case mdb.KindShort:
+				row[j] = int64(c.Shorts.Get(i))
+			}
+		}
+		rel.rows[i] = row
+	}
+	return rel, nil
+}
+
+// evalJoin runs a hash join, honoring LEFT OUTER semantics and evaluating
+// residual ON conjuncts per candidate pair.
+func (e *Engine) evalJoin(j *JoinTable) (*relation, perf.Work, *mdb.UDFResult, error) {
+	left, lw, ludf, err := e.evalFrom(j.Left)
+	if err != nil {
+		return nil, perf.Work{}, nil, err
+	}
+	right, rw, rudf, err := e.evalFrom(j.Right)
+	if err != nil {
+		return nil, perf.Work{}, nil, err
+	}
+	work := lw
+	work.Add(rw)
+	udf := ludf
+	if udf == nil {
+		udf = rudf
+	}
+
+	out := &relation{cols: append(append([]colMeta{}, left.cols...), right.cols...)}
+	conjuncts := splitConjuncts(j.On)
+	lk, rk, residual, err := findEquiKey(left, right, conjuncts)
+	if err != nil {
+		return nil, work, udf, err
+	}
+
+	// Pre-evaluate residual predicates on the probe (right) side where
+	// they only touch right columns — the Q13 NOT LIKE case. This keeps
+	// the filter work linear instead of per candidate pair.
+	rightOK := make([]bool, len(right.rows))
+	rightEval := newEvaluator(right)
+	var rightOnly, mixed []Expr
+	for _, c := range residual {
+		if exprUsesOnly(c, right) {
+			rightOnly = append(rightOnly, c)
+		} else {
+			mixed = append(mixed, c)
+		}
+	}
+	for i, row := range right.rows {
+		ok := true
+		for _, c := range rightOnly {
+			v, err := rightEval.evalBool(c, row)
+			if err != nil {
+				return nil, work, udf, err
+			}
+			if !v {
+				ok = false
+				break
+			}
+		}
+		rightOK[i] = ok
+	}
+	work.Add(rightEval.work)
+
+	// Build the hash table on the right side.
+	build := make(map[any][]int, len(right.rows))
+	for i, row := range right.rows {
+		if !rightOK[i] {
+			continue
+		}
+		k := row[rk]
+		if k == nil {
+			continue
+		}
+		build[k] = append(build[k], i)
+	}
+
+	pairEval := newEvaluator(out)
+	nulls := make([]any, len(right.cols))
+	for _, lrow := range left.rows {
+		matched := false
+		k := lrow[lk]
+		if k != nil {
+			for _, ri := range build[k] {
+				pair := append(append(make([]any, 0, len(out.cols)), lrow...), right.rows[ri]...)
+				ok := true
+				for _, c := range mixed {
+					v, err := pairEval.evalBool(c, pair)
+					if err != nil {
+						return nil, work, udf, err
+					}
+					if !v {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out.rows = append(out.rows, pair)
+					matched = true
+				}
+			}
+		}
+		if !matched && j.LeftOuter {
+			out.rows = append(out.rows, append(append(make([]any, 0, len(out.cols)), lrow...), nulls...))
+		}
+	}
+	work.Add(pairEval.work)
+	work.Rows += len(left.rows) + len(right.rows)
+	return out, work, udf, nil
+}
+
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// findEquiKey locates one left-col = right-col conjunct to hash on.
+func findEquiKey(left, right *relation, conjuncts []Expr) (lk, rk int, residual []Expr, err error) {
+	lk, rk = -1, -1
+	for _, c := range conjuncts {
+		if lk >= 0 {
+			residual = append(residual, c)
+			continue
+		}
+		b, ok := c.(*BinaryExpr)
+		if !ok || b.Op != "=" {
+			residual = append(residual, c)
+			continue
+		}
+		lr, ok1 := b.Left.(*ColumnRef)
+		rr, ok2 := b.Right.(*ColumnRef)
+		if !ok1 || !ok2 {
+			residual = append(residual, c)
+			continue
+		}
+		if li, e1 := left.resolve(lr); e1 == nil {
+			if ri, e2 := right.resolve(rr); e2 == nil {
+				lk, rk = li, ri
+				continue
+			}
+		}
+		if li, e1 := left.resolve(rr); e1 == nil {
+			if ri, e2 := right.resolve(lr); e2 == nil {
+				lk, rk = li, ri
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	if lk < 0 {
+		return 0, 0, nil, fmt.Errorf("sql: join requires an equality condition between the two sides")
+	}
+	return lk, rk, residual, nil
+}
+
+// exprUsesOnly reports whether every column reference in e resolves within
+// rel.
+func exprUsesOnly(e Expr, rel *relation) bool {
+	ok := true
+	var walk func(Expr)
+	walk = func(x Expr) {
+		if !ok || x == nil {
+			return
+		}
+		switch n := x.(type) {
+		case *ColumnRef:
+			if _, err := rel.resolve(n); err != nil {
+				ok = false
+			}
+		case *BinaryExpr:
+			walk(n.Left)
+			walk(n.Right)
+		case *NotExpr:
+			walk(n.Sub)
+		case *IsNullExpr:
+			walk(n.Operand)
+		case *LikeExpr:
+			walk(n.Operand)
+		case *FuncCall:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// runPipeline applies WHERE, GROUP BY, projection, ORDER BY and LIMIT.
+func (e *Engine) runPipeline(stmt *SelectStmt, rel *relation) (*Result, error) {
+	ev := newEvaluator(rel)
+	if stmt.Where != nil {
+		var kept [][]any
+		for _, row := range rel.rows {
+			ok, err := ev.evalBool(stmt.Where, row)
+			if err != nil {
+				return nil, err
+			}
+			ev.work.Rows++
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rel = &relation{cols: rel.cols, rows: kept}
+		ev.rel = rel
+	}
+
+	var res *Result
+	var err error
+	if len(stmt.GroupBy) > 0 || hasAggregate(stmt.Items) {
+		res, err = e.aggregate(stmt, rel, ev)
+	} else {
+		res, err = e.project(stmt, rel, ev)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Work.Add(ev.work)
+
+	if len(stmt.OrderBy) > 0 {
+		if err := orderBy(res, stmt.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Limit >= 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	return res, nil
+}
+
+// aggNames are the supported aggregate functions.
+var aggNames = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+func isAggregate(e Expr) (*FuncCall, bool) {
+	c, ok := e.(*FuncCall)
+	if !ok || !aggNames[c.Name] {
+		return nil, false
+	}
+	return c, true
+}
+
+func hasAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if _, ok := isAggregate(it.Expr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// project evaluates a plain projection.
+func (e *Engine) project(stmt *SelectStmt, rel *relation, ev *evaluator) (*Result, error) {
+	res := &Result{}
+	for i, it := range stmt.Items {
+		if it.Star {
+			for _, c := range rel.cols {
+				res.Cols = append(res.Cols, c.name)
+			}
+			continue
+		}
+		res.Cols = append(res.Cols, colAlias(it, fmt.Sprintf("col%d", i+1)))
+	}
+	if len(rel.rows) == 0 {
+		// Validate column references even on empty input so that
+		// typos fail deterministically.
+		nilRow := make([]any, len(rel.cols))
+		for _, it := range stmt.Items {
+			if it.Star {
+				continue
+			}
+			if _, err := ev.eval(it.Expr, nilRow); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, row := range rel.rows {
+		var out []any
+		for _, it := range stmt.Items {
+			if it.Star {
+				out = append(out, row...)
+				continue
+			}
+			v, err := ev.eval(it.Expr, row)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// accumulator folds one aggregate over a group.
+type accumulator struct {
+	call  *FuncCall
+	count int64
+	sum   int64
+	min   any
+	max   any
+	seen  bool
+}
+
+func (a *accumulator) add(v any) error {
+	if a.call.Star { // COUNT(*)
+		a.count++
+		return nil
+	}
+	if v == nil {
+		return nil
+	}
+	a.count++
+	switch a.call.Name {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG":
+		n, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("sql: %s over %T", a.call.Name, v)
+		}
+		a.sum += n
+	case "MIN", "MAX":
+		if !a.seen {
+			a.min, a.max, a.seen = v, v, true
+			return nil
+		}
+		cmp, err := compare(v, a.min)
+		if err != nil {
+			return err
+		}
+		if cmp < 0 {
+			a.min = v
+		}
+		cmp, err = compare(v, a.max)
+		if err != nil {
+			return err
+		}
+		if cmp > 0 {
+			a.max = v
+		}
+		return nil
+	}
+	a.seen = true
+	return nil
+}
+
+func (a *accumulator) value() any {
+	switch a.call.Name {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sum
+	case "AVG":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sum / a.count
+	case "MIN":
+		if !a.seen {
+			return nil
+		}
+		return a.min
+	case "MAX":
+		if !a.seen {
+			return nil
+		}
+		return a.max
+	}
+	return nil
+}
+
+// aggregate runs hash grouping with COUNT/SUM/MIN/MAX/AVG aggregates and
+// applies HAVING over the grouped output.
+func (e *Engine) aggregate(stmt *SelectStmt, rel *relation, ev *evaluator) (*Result, error) {
+	type group struct {
+		keys   []any
+		sample []any // first row, for evaluating group-key projections
+		accs   []*accumulator
+	}
+	// Collect the aggregates in projection order.
+	var aggs []*FuncCall
+	for _, it := range stmt.Items {
+		if c, ok := isAggregate(it.Expr); ok {
+			if !c.Star && len(c.Args) != 1 {
+				return nil, fmt.Errorf("sql: %s wants one argument", c.Name)
+			}
+			aggs = append(aggs, c)
+		}
+	}
+	newAccs := func() []*accumulator {
+		accs := make([]*accumulator, len(aggs))
+		for i, c := range aggs {
+			accs[i] = &accumulator{call: c}
+		}
+		return accs
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rel.rows {
+		var keyParts []any
+		for _, g := range stmt.GroupBy {
+			v, err := ev.eval(g, row)
+			if err != nil {
+				return nil, err
+			}
+			keyParts = append(keyParts, v)
+		}
+		key := groupKey(keyParts)
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keys: keyParts, sample: row, accs: newAccs()}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for ai, agg := range aggs {
+			var v any
+			if !agg.Star {
+				var err error
+				v, err = ev.eval(agg.Args[0], row)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := grp.accs[ai].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Global aggregate without GROUP BY over an empty input still yields
+	// one row (zero counts, NULL extremes).
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{accs: newAccs()}
+		order = append(order, "")
+	}
+
+	res := &Result{}
+	for i, it := range stmt.Items {
+		res.Cols = append(res.Cols, colAlias(it, fmt.Sprintf("col%d", i+1)))
+	}
+	for _, key := range order {
+		grp := groups[key]
+		var out []any
+		ai := 0
+		for _, it := range stmt.Items {
+			if _, ok := isAggregate(it.Expr); ok {
+				out = append(out, grp.accs[ai].value())
+				ai++
+				continue
+			}
+			if grp.sample == nil {
+				out = append(out, nil)
+				continue
+			}
+			v, err := ev.eval(it.Expr, grp.sample)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if stmt.Having != nil {
+		if err := applyHaving(res, stmt.Having); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// applyHaving filters grouped output rows. The predicate references output
+// columns (group keys and aggregate aliases), like ORDER BY.
+func applyHaving(res *Result, having Expr) error {
+	outRel := &relation{}
+	for _, c := range res.Cols {
+		outRel.cols = append(outRel.cols, colMeta{name: strings.ToLower(c)})
+	}
+	hev := newEvaluator(outRel)
+	kept := res.Rows[:0]
+	for _, row := range res.Rows {
+		ok, err := hev.evalBool(having, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+	res.Rows = kept
+	return nil
+}
+
+// groupKey encodes group-key values unambiguously (typed, quoted strings).
+func groupKey(parts []any) string {
+	var b strings.Builder
+	for _, p := range parts {
+		switch v := p.(type) {
+		case nil:
+			b.WriteString("N;")
+		case int64:
+			fmt.Fprintf(&b, "i%d;", v)
+		case string:
+			fmt.Fprintf(&b, "s%q;", v)
+		case bool:
+			fmt.Fprintf(&b, "b%t;", v)
+		default:
+			fmt.Fprintf(&b, "?%v;", v)
+		}
+	}
+	return b.String()
+}
+
+// colAlias derives the output name of a projection.
+func colAlias(it SelectItem, fallback string) string {
+	if it.Alias != "" {
+		return strings.ToLower(it.Alias)
+	}
+	if ref, ok := it.Expr.(*ColumnRef); ok {
+		return strings.ToLower(ref.Column)
+	}
+	if c, ok := it.Expr.(*FuncCall); ok {
+		return strings.ToLower(c.Name)
+	}
+	return fallback
+}
+
+// orderBy sorts result rows by output columns.
+func orderBy(res *Result, items []OrderItem) error {
+	type key struct {
+		idx  int
+		desc bool
+	}
+	var keys []key
+	for _, it := range items {
+		ref, ok := it.Expr.(*ColumnRef)
+		if !ok {
+			return fmt.Errorf("sql: ORDER BY supports output columns only")
+		}
+		idx := -1
+		for i, c := range res.Cols {
+			if c == strings.ToLower(ref.Column) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("sql: ORDER BY column %q not in output", ref.Column)
+		}
+		keys = append(keys, key{idx: idx, desc: it.Desc})
+	}
+	var sortErr error
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for _, k := range keys {
+			va, vb := res.Rows[a][k.idx], res.Rows[b][k.idx]
+			if va == nil || vb == nil {
+				if va == vb {
+					continue
+				}
+				return (va == nil) != k.desc // nulls first ascending
+			}
+			cmp, err := compare(va, vb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if cmp == 0 {
+				continue
+			}
+			if k.desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return sortErr
+}

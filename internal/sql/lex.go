@@ -1,0 +1,161 @@
+// Package sql is the SQL front end over the column store: a lexer, a
+// recursive-descent parser and a materializing executor covering the
+// queries of the paper's evaluation — single-table predicate scans with
+// LIKE / ILIKE / REGEXP_LIKE / CONTAINS / REGEXP_FPGA (§4.1, §7.1.1) and
+// TPC-H Query 13's derived-table LEFT OUTER JOIN / GROUP BY / ORDER BY
+// pipeline (§7.7).
+//
+// Predicate scans over a single table use the column engine's operators
+// directly (MonetDB's BAT-algebra style, no row materialization); anything
+// else is executed over materialized relations.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkString
+	tkNumber
+	tkSymbol // ( ) , . * and operators
+)
+
+type tok struct {
+	kind tokKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+// keywords recognized by the parser.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"LIKE": true, "ILIKE": true, "COUNT": true, "JOIN": true, "LEFT": true,
+	"OUTER": true, "INNER": true, "ON": true, "DESC": true, "ASC": true,
+	"NULL": true, "IS": true, "LIMIT": true, "DISTINCT": true,
+	"HAVING": true,
+}
+
+// Error is a SQL front-end error with a byte offset.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s at offset %d", e.Msg, e.Pos)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the statement.
+func lex(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				out = append(out, tok{tkKeyword, up, start})
+			} else {
+				out = append(out, tok{tkIdent, word, start})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			out = append(out, tok{tkNumber, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start, "unterminated string literal")
+			}
+			out = append(out, tok{tkString, sb.String(), start})
+		case strings.IndexByte("(),.*;+/", c) >= 0:
+			out = append(out, tok{tkSymbol, string(c), i})
+			i++
+		case c == '-':
+			// '--' comments are handled above; a single '-' is the
+			// arithmetic operator.
+			out = append(out, tok{tkSymbol, "-", i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '>' || src[i+1] == '=') {
+				out = append(out, tok{tkSymbol, src[i : i+2], i})
+				i += 2
+			} else {
+				out = append(out, tok{tkSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, tok{tkSymbol, ">=", i})
+				i += 2
+			} else {
+				out = append(out, tok{tkSymbol, ">", i})
+				i++
+			}
+		case c == '=':
+			out = append(out, tok{tkSymbol, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, tok{tkSymbol, "<>", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '!'")
+			}
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	out = append(out, tok{tkEOF, "", len(src)})
+	return out, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

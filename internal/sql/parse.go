@@ -1,0 +1,500 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement (optionally `;`-terminated).
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSym(";")
+	if p.peek().kind != tkEOF {
+		return nil, errf(p.peek().pos, "unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok    { return p.toks[p.pos] }
+func (p *parser) advance() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.kind == tkKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errf(p.peek().pos, "expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tkSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return errf(p.peek().pos, "expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	p.acceptKw("DISTINCT") // accepted and treated as a no-op for counts
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				it.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, it)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.peek()
+		if t.kind != tkNumber {
+			return nil, errf(t.pos, "expected number after LIMIT")
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errf(t.pos, "bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSym("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		t := p.peek()
+		if t.kind != tkIdent {
+			return item, errf(t.pos, "expected alias after AS")
+		}
+		p.advance()
+		item.Alias = t.text
+	} else if t := p.peek(); t.kind == tkIdent {
+		// Bare alias: `count(o_orderkey) cnt`.
+		p.advance()
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+// parseTableRef = primaryTable (JOIN primaryTable ON expr)*
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parsePrimaryTable()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		leftOuter := false
+		save := p.pos
+		if p.acceptKw("LEFT") {
+			p.acceptKw("OUTER")
+			leftOuter = true
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if p.acceptKw("INNER") {
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKw("JOIN") {
+			p.pos = save
+			return left, nil
+		}
+		right, err := p.parsePrimaryTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &JoinTable{Left: left, Right: right, LeftOuter: leftOuter, On: on}
+	}
+}
+
+func (p *parser) parsePrimaryTable() (TableRef, error) {
+	if p.acceptSym("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		st := &SubqueryTable{Query: sub}
+		p.acceptKw("AS")
+		t := p.peek()
+		if t.kind != tkIdent {
+			return nil, errf(t.pos, "derived table needs an alias")
+		}
+		p.advance()
+		st.Alias = t.text
+		if p.acceptSym("(") {
+			for {
+				ct := p.peek()
+				if ct.kind != tkIdent {
+					return nil, errf(ct.pos, "expected column alias")
+				}
+				p.advance()
+				st.Columns = append(st.Columns, ct.text)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	t := p.peek()
+	if t.kind != tkIdent {
+		return nil, errf(t.pos, "expected table name, found %q", t.text)
+	}
+	p.advance()
+	bt := &BaseTable{Name: t.text}
+	if p.acceptKw("AS") {
+		a := p.peek()
+		if a.kind != tkIdent {
+			return nil, errf(a.pos, "expected alias after AS")
+		}
+		p.advance()
+		bt.Alias = a.text
+	} else if a := p.peek(); a.kind == tkIdent {
+		p.advance()
+		bt.Alias = a.text
+	}
+	return bt, nil
+}
+
+// Expression grammar: or := and (OR and)*; and := not (AND not)*;
+// not := NOT not | cmp; cmp := primary ((=|<>|<|<=|>|>=) primary |
+// [NOT] LIKE str | IS [NOT] NULL)?
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		sub, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Sub: sub}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// [NOT] LIKE / ILIKE
+	negated := false
+	save := p.pos
+	if p.acceptKw("NOT") {
+		if t := p.peek(); t.kind == tkKeyword && (t.text == "LIKE" || t.text == "ILIKE") {
+			negated = true
+		} else {
+			p.pos = save
+			return left, nil
+		}
+	}
+	if p.acceptKw("LIKE") || p.acceptKw("ILIKE") {
+		fold := p.toks[p.pos-1].text == "ILIKE"
+		t := p.peek()
+		if t.kind != tkString {
+			return nil, errf(t.pos, "expected pattern string after LIKE")
+		}
+		p.advance()
+		return &LikeExpr{Operand: left, Pattern: t.text, Fold: fold, Negated: negated}, nil
+	}
+	if p.acceptKw("IS") {
+		neg := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Operand: left, Negated: neg}, nil
+	}
+	for _, op := range []string{"<>", "<=", ">=", "=", "<", ">"} {
+		if p.acceptSym(op) {
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+// parseAdd = parseMul (('+'|'-') parseMul)*
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("+"):
+			op = "+"
+		case p.acceptSym("-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+// parseMul = unary (('*'|'/') unary)*
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("*"):
+			op = "*"
+		case p.acceptSym("/"):
+			op = "/"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+// parseUnary handles a leading '-' (negative literals and negation).
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSym("-") {
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "-", Left: &IntLit{Val: 0}, Right: sub}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tkString:
+		p.advance()
+		return &StringLit{Val: t.text}, nil
+	case t.kind == tkNumber:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad number %q", t.text)
+		}
+		return &IntLit{Val: v}, nil
+	case t.kind == tkKeyword && t.text == "NULL":
+		p.advance()
+		return &NullLit{}, nil
+	case t.kind == tkKeyword && t.text == "COUNT":
+		p.advance()
+		return p.parseCall("COUNT")
+	case t.kind == tkSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tkIdent:
+		p.advance()
+		name := t.text
+		if p.peek().kind == tkSymbol && p.peek().text == "(" {
+			return p.parseCall(strings.ToUpper(name))
+		}
+		if p.acceptSym(".") {
+			c := p.peek()
+			if c.kind != tkIdent {
+				return nil, errf(c.pos, "expected column after %q.", name)
+			}
+			p.advance()
+			return &ColumnRef{Table: name, Column: c.Column()}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+	}
+	return nil, errf(t.pos, "unexpected %q in expression", t.text)
+}
+
+// Column helper: tok → identifier text.
+func (t tok) Column() string { return t.text }
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	call := &FuncCall{Name: name}
+	if p.acceptSym("*") {
+		call.Star = true
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.acceptSym(")") {
+		return call, nil
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

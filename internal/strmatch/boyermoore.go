@@ -1,0 +1,152 @@
+// Package strmatch provides the software string-matching substrate used by
+// the CPU baselines: a SQL LIKE/ILIKE pattern compiler, Boyer-Moore and
+// Knuth-Morris-Pratt single-pattern searchers, and the multi-substring
+// matcher that MonetDB-style engines use for %a%b%c% patterns (§8.1 of the
+// paper discusses both algorithms; Boyer-Moore generally wins because it
+// skips input).
+package strmatch
+
+import (
+	"sync/atomic"
+)
+
+// BoyerMoore is a compiled Boyer-Moore searcher (bad-character and
+// good-suffix rules) with optional ASCII case folding.
+type BoyerMoore struct {
+	needle     []byte
+	badChar    [256]int
+	goodSuffix []int
+	fold       bool
+
+	// comparisons counts byte comparisons across Find calls; exported
+	// through Comparisons for tests and the efficiency benches.
+	comparisons atomic.Uint64
+}
+
+// NewBoyerMoore compiles needle. An empty needle matches at any position.
+func NewBoyerMoore(needle []byte, foldCase bool) *BoyerMoore {
+	n := make([]byte, len(needle))
+	copy(n, needle)
+	if foldCase {
+		for i := range n {
+			n[i] = asciiLower(n[i])
+		}
+	}
+	bm := &BoyerMoore{needle: n, fold: foldCase}
+	bm.buildBadChar()
+	bm.buildGoodSuffix()
+	return bm
+}
+
+// Needle returns the compiled (possibly case-folded) needle.
+func (bm *BoyerMoore) Needle() []byte { return bm.needle }
+
+// Comparisons returns the total byte comparisons performed so far.
+func (bm *BoyerMoore) Comparisons() uint64 { return bm.comparisons.Load() }
+
+func (bm *BoyerMoore) buildBadChar() {
+	m := len(bm.needle)
+	for i := range bm.badChar {
+		bm.badChar[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		bm.badChar[bm.needle[i]] = m - 1 - i
+		if bm.fold {
+			bm.badChar[asciiUpper(bm.needle[i])] = m - 1 - i
+		}
+	}
+}
+
+// buildGoodSuffix computes the classic good-suffix shift table.
+func (bm *BoyerMoore) buildGoodSuffix() {
+	m := len(bm.needle)
+	bm.goodSuffix = make([]int, m+1)
+	if m == 0 {
+		return
+	}
+	// border[i]: start of the widest border of needle[i:].
+	border := make([]int, m+1)
+	i, j := m, m+1
+	border[i] = j
+	for i > 0 {
+		for j <= m && bm.needle[i-1] != bm.needle[j-1] {
+			if bm.goodSuffix[j] == 0 {
+				bm.goodSuffix[j] = j - i
+			}
+			j = border[j]
+		}
+		i--
+		j--
+		border[i] = j
+	}
+	j = border[0]
+	for i = 0; i <= m; i++ {
+		if bm.goodSuffix[i] == 0 {
+			bm.goodSuffix[i] = j
+		}
+		if i == j {
+			j = border[j]
+		}
+	}
+}
+
+// Find returns the index of the first occurrence of the needle in haystack
+// at or after from, or -1.
+func (bm *BoyerMoore) Find(haystack []byte, from int) int {
+	m := len(bm.needle)
+	if m == 0 {
+		if from <= len(haystack) {
+			return from
+		}
+		return -1
+	}
+	var comps uint64
+	defer func() { bm.comparisons.Add(comps) }()
+	s := from
+	for s+m <= len(haystack) {
+		j := m - 1
+		for j >= 0 {
+			comps++
+			h := haystack[s+j]
+			if bm.fold {
+				h = asciiLower(h)
+			}
+			if h != bm.needle[j] {
+				break
+			}
+			j--
+		}
+		if j < 0 {
+			return s
+		}
+		h := haystack[s+j]
+		shift := bm.badChar[h] - (m - 1 - j)
+		if g := bm.goodSuffix[j+1]; g > shift {
+			shift = g
+		}
+		if shift < 1 {
+			shift = 1
+		}
+		s += shift
+	}
+	return -1
+}
+
+// Contains reports whether the needle occurs in haystack.
+func (bm *BoyerMoore) Contains(haystack []byte) bool {
+	return bm.Find(haystack, 0) >= 0
+}
+
+func asciiLower(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+func asciiUpper(b byte) byte {
+	if 'a' <= b && b <= 'z' {
+		return b - ('a' - 'A')
+	}
+	return b
+}

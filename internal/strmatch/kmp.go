@@ -1,0 +1,70 @@
+package strmatch
+
+// KMP is a compiled Knuth-Morris-Pratt searcher. The paper (§8.1) notes
+// that Boyer-Moore usually beats KMP because it can skip input; both are
+// provided so the ablation bench can quantify that on the address workload.
+type KMP struct {
+	needle []byte
+	fail   []int
+	fold   bool
+}
+
+// NewKMP compiles needle.
+func NewKMP(needle []byte, foldCase bool) *KMP {
+	n := make([]byte, len(needle))
+	copy(n, needle)
+	if foldCase {
+		for i := range n {
+			n[i] = asciiLower(n[i])
+		}
+	}
+	k := &KMP{needle: n, fold: foldCase, fail: make([]int, len(n))}
+	if len(n) > 0 {
+		k.fail[0] = 0
+		j := 0
+		for i := 1; i < len(n); i++ {
+			for j > 0 && n[i] != n[j] {
+				j = k.fail[j-1]
+			}
+			if n[i] == n[j] {
+				j++
+			}
+			k.fail[i] = j
+		}
+	}
+	return k
+}
+
+// Find returns the index of the first occurrence of the needle in haystack
+// at or after from, or -1.
+func (k *KMP) Find(haystack []byte, from int) int {
+	m := len(k.needle)
+	if m == 0 {
+		if from <= len(haystack) {
+			return from
+		}
+		return -1
+	}
+	j := 0
+	for i := from; i < len(haystack); i++ {
+		c := haystack[i]
+		if k.fold {
+			c = asciiLower(c)
+		}
+		for j > 0 && c != k.needle[j] {
+			j = k.fail[j-1]
+		}
+		if c == k.needle[j] {
+			j++
+		}
+		if j == m {
+			return i - m + 1
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the needle occurs in haystack.
+func (k *KMP) Contains(haystack []byte) bool {
+	return k.Find(haystack, 0) >= 0
+}

@@ -1,0 +1,280 @@
+package token
+
+import (
+	"fmt"
+	"sort"
+
+	"doppiodb/internal/regex"
+)
+
+// endpoint is a position in a fragment's first or last set. The gapped flag
+// records that a `.*` sits between the position and the fragment boundary,
+// so edges crossing that boundary must be gap edges (predecessor holds).
+type endpoint struct {
+	pos    int
+	gapped bool
+}
+
+// frag is a partially built Glushkov automaton fragment.
+type frag struct {
+	first, last []endpoint
+	nullable    bool
+	// gapBefore/gapAfter: a `.*` is reachable at the fragment's
+	// start/end through nullable context, so positions promoted across
+	// this fragment must be gap-marked.
+	gapBefore, gapAfter bool
+	isGap               bool // the fragment is a bare top-level `.*`
+}
+
+type compiler struct {
+	useGapHold bool
+	tokens     []Token
+	preds      []map[int]struct{}
+	hold       []bool
+	gapsMade   int // materialized `.*` count
+}
+
+// Compile builds the token automaton for a parsed AST.
+func Compile(ast *regex.Node, opts Options) (*Program, error) {
+	ast = regex.Desugar(ast)
+	body, anchored, endAnchored, err := stripAnchors(ast)
+	if err != nil {
+		return nil, err
+	}
+	if body.Nullable() {
+		return nil, ErrMatchesEmpty
+	}
+	c := &compiler{useGapHold: !opts.NoGapHold}
+	f := c.build(body, true)
+	prog := c.finish(f, anchored, endAnchored)
+	prog.FoldCase = opts.FoldCase
+	return prog, nil
+}
+
+// newPos appends a token and returns its position index.
+func (c *compiler) newPos(t Token) int {
+	c.tokens = append(c.tokens, t)
+	c.preds = append(c.preds, make(map[int]struct{}))
+	c.hold = append(c.hold, false)
+	return len(c.tokens) - 1
+}
+
+func (c *compiler) addEdge(from, to int, gapped bool) {
+	c.preds[to][from] = struct{}{}
+	if gapped {
+		c.hold[from] = true
+	}
+}
+
+// leafMatcher converts a leaf AST node to a character matcher.
+func leafMatcher(n *regex.Node) Matcher {
+	switch n.Op {
+	case regex.OpLit:
+		return Matcher{Ranges: []regex.Range{{Lo: n.Lit, Hi: n.Lit}}}
+	case regex.OpAny:
+		return Matcher{Ranges: []regex.Range{{Lo: 0, Hi: 255}}}
+	case regex.OpClass:
+		return Matcher{Ranges: n.Ranges, Negated: n.Negated}
+	}
+	panic(fmt.Sprintf("token: leafMatcher on %v", n.Op))
+}
+
+// isGapNode reports whether n is a `.*` usable as a hold-style gap.
+func isGapNode(n *regex.Node) bool {
+	return n.Op == regex.OpStar && n.Subs[0].Op == regex.OpAny
+}
+
+// build compiles node n into a fragment. topLevel is true only for the
+// pattern's root concatenation (and the branches of a root alternation),
+// where the `.*`→hold shortcut is provably language-preserving.
+func (c *compiler) build(n *regex.Node, topLevel bool) frag {
+	switch n.Op {
+	case regex.OpEmpty:
+		return frag{nullable: true}
+	case regex.OpLit, regex.OpAny, regex.OpClass:
+		p := c.newPos(Token{Matchers: []Matcher{leafMatcher(n)}})
+		return frag{first: []endpoint{{p, false}}, last: []endpoint{{p, false}}}
+	case regex.OpConcat:
+		return c.buildConcat(n, topLevel)
+	case regex.OpAlt:
+		var out frag
+		for i, s := range n.Subs {
+			f := c.build(s, topLevel)
+			if i == 0 {
+				out = f
+				continue
+			}
+			out.first = append(out.first, f.first...)
+			out.last = append(out.last, f.last...)
+			out.nullable = out.nullable || f.nullable
+			out.gapBefore = out.gapBefore || f.gapBefore
+			out.gapAfter = out.gapAfter || f.gapAfter
+		}
+		return out
+	case regex.OpQuest:
+		f := c.build(n.Subs[0], false)
+		f.nullable = true
+		return f
+	case regex.OpStar, regex.OpPlus:
+		if isGapNode(n) && n.Op == regex.OpStar && c.useGapHold && topLevel {
+			return frag{nullable: true, isGap: true, gapBefore: true, gapAfter: true}
+		}
+		if n.Op == regex.OpStar && isGapNode(n) {
+			c.gapsMade++
+		}
+		f := c.build(n.Subs[0], false)
+		// Loop edges: the subexpression may repeat.
+		for _, l := range f.last {
+			for _, fst := range f.first {
+				c.addEdge(l.pos, fst.pos, l.gapped || fst.gapped)
+			}
+		}
+		if n.Op == regex.OpStar {
+			f.nullable = true
+		}
+		return f
+	case regex.OpBegin, regex.OpEnd:
+		// stripAnchors rejected interior anchors already.
+		panic("token: anchor survived stripAnchors")
+	}
+	panic(fmt.Sprintf("token: build on %v", n.Op))
+}
+
+// buildConcat folds the children of a concatenation, grouping maximal runs
+// of unquantified leaves into single multi-matcher tokens (the §6.3
+// character-sequence optimization) and treating top-level `.*` children as
+// hold-style gaps.
+func (c *compiler) buildConcat(n *regex.Node, topLevel bool) frag {
+	children := flattenConcat(n)
+	acc := frag{nullable: true}
+	var run []Matcher
+	flushRun := func() {
+		if len(run) == 0 {
+			return
+		}
+		p := c.newPos(Token{Matchers: run})
+		run = nil
+		acc = c.cat(acc, frag{
+			first: []endpoint{{p, false}},
+			last:  []endpoint{{p, false}},
+		})
+	}
+	for _, child := range children {
+		if child.IsLeaf() {
+			run = append(run, leafMatcher(child))
+			continue
+		}
+		flushRun()
+		if topLevel && c.useGapHold && isGapNode(child) {
+			acc = c.cat(acc, frag{nullable: true, isGap: true})
+			continue
+		}
+		if child.Op == regex.OpEmpty {
+			continue
+		}
+		acc = c.cat(acc, c.build(child, false))
+	}
+	flushRun()
+	return acc
+}
+
+// flattenConcat inlines nested concatenations (from groups and desugared
+// repetitions) so that leaf runs and top-level gaps are found across group
+// boundaries.
+func flattenConcat(n *regex.Node) []*regex.Node {
+	var out []*regex.Node
+	for _, s := range n.Subs {
+		if s.Op == regex.OpConcat {
+			out = append(out, flattenConcat(s)...)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// cat concatenates two fragments, emitting the cross edges.
+func (c *compiler) cat(a, b frag) frag {
+	if b.isGap {
+		a.last = markGapped(a.last)
+		a.gapAfter = true
+		if a.nullable {
+			a.gapBefore = true
+		}
+		return a
+	}
+	for _, l := range a.last {
+		for _, f := range b.first {
+			c.addEdge(l.pos, f.pos, l.gapped || f.gapped)
+		}
+	}
+	out := frag{
+		nullable:  a.nullable && b.nullable,
+		gapAfter:  b.gapAfter || (b.nullable && a.gapAfter),
+		gapBefore: a.gapBefore || (a.nullable && b.gapBefore),
+	}
+	out.first = append(out.first, a.first...)
+	if a.nullable {
+		out.first = append(out.first, markIf(b.first, a.gapAfter)...)
+	}
+	out.last = append(out.last, b.last...)
+	if b.nullable {
+		out.last = append(out.last, markIf(a.last, b.gapBefore)...)
+	}
+	return out
+}
+
+func markGapped(eps []endpoint) []endpoint {
+	out := make([]endpoint, len(eps))
+	for i, e := range eps {
+		out[i] = endpoint{e.pos, true}
+	}
+	return out
+}
+
+func markIf(eps []endpoint, gap bool) []endpoint {
+	if !gap {
+		return eps
+	}
+	return markGapped(eps)
+}
+
+// finish converts the accumulated fragment into a Program.
+func (c *compiler) finish(f frag, anchored, endAnchored bool) *Program {
+	n := len(c.tokens)
+	p := &Program{
+		Tokens:           c.tokens,
+		Preds:            make([][]int, n),
+		Start:            make([]bool, n),
+		StartGapped:      make([]bool, n),
+		Accept:           make([]bool, n),
+		Hold:             c.hold,
+		Anchored:         anchored,
+		EndAnchored:      endAnchored,
+		MaterializedGaps: c.gapsMade,
+	}
+	for j, set := range c.preds {
+		preds := make([]int, 0, len(set))
+		for i := range set {
+			preds = append(preds, i)
+		}
+		sort.Ints(preds)
+		p.Preds[j] = preds
+	}
+	for _, e := range f.first {
+		p.Start[e.pos] = true
+		if e.gapped {
+			p.StartGapped[e.pos] = true
+		}
+	}
+	for _, e := range f.last {
+		p.Accept[e.pos] = true
+		if e.gapped {
+			// A gap before the end (`a.*$`, or `a.*` under $): the
+			// position must stay active so the end-of-string
+			// accept check sees it.
+			p.Hold[e.pos] = true
+		}
+	}
+	return p
+}

@@ -1,0 +1,75 @@
+package token
+
+// Match runs the token automaton over s with the exact cycle-by-cycle
+// semantics of the hardware Processing Unit: one byte per cycle, all chain
+// shift registers and state bits updated synchronously. It returns the
+// 1-based position of the last character of the first (earliest-ending)
+// match, or 0 if the string does not match — the HUDF result encoding of
+// §4.1.
+//
+// This is the slow, obviously-correct reference; internal/pu implements the
+// bit-parallel version used by the engines and cross-checks against this
+// one in its tests.
+func (p *Program) Match(s []byte) int {
+	n := len(p.Tokens)
+	if n == 0 {
+		return 0
+	}
+	active := make([]bool, n)
+	prevActive := make([]bool, n)
+	chains := make([][]bool, n)
+	newChains := make([][]bool, n)
+	for j := range chains {
+		chains[j] = make([]bool, p.Tokens[j].Len())
+		newChains[j] = make([]bool, p.Tokens[j].Len())
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		copy(prevActive, active)
+		matched := false
+		for j := 0; j < n; j++ {
+			tok := &p.Tokens[j]
+			armed := p.Start[j] && (!p.Anchored || i == 0 || p.StartGapped[j])
+			entry := armed
+			if !entry {
+				for _, pr := range p.Preds[j] {
+					if prevActive[pr] {
+						entry = true
+						break
+					}
+				}
+			}
+			nc := newChains[j]
+			oc := chains[j]
+			for k := len(nc) - 1; k >= 1; k-- {
+				nc[k] = oc[k-1] && tok.Matchers[k].Matches(b, p.FoldCase)
+			}
+			nc[0] = entry && tok.Matchers[0].Matches(b, p.FoldCase)
+			fired := nc[len(nc)-1]
+			active[j] = fired || (p.Hold[j] && prevActive[j])
+			if fired && p.Accept[j] {
+				matched = true
+			}
+		}
+		chains, newChains = newChains, chains
+		if matched && !p.EndAnchored {
+			return i + 1
+		}
+		if matched && p.EndAnchored && i == len(s)-1 {
+			return len(s)
+		}
+	}
+	if p.EndAnchored {
+		for j := 0; j < n; j++ {
+			// A held accept position (e.g. `a.*$`) is still active
+			// at the end of the string.
+			if p.Accept[j] && p.Hold[j] && active[j] {
+				return len(s)
+			}
+		}
+	}
+	return 0
+}
+
+// MatchString is Match over a string.
+func (p *Program) MatchString(s string) int { return p.Match([]byte(s)) }

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TPC-H subset for Query 13 (§7.7): customer and orders with realistic
+// cardinalities. At scale factor SF there are 150,000×SF customers and
+// 1,500,000×SF orders; about a third of customers have no orders. The
+// o_comment column occasionally contains the "special ... requests" phrase
+// Q13 filters out, mirroring dbgen's comment grammar.
+const (
+	CustomersPerSF = 150_000
+	OrdersPerSF    = 1_500_000
+)
+
+// TPCHCustomer is one customer row (the columns Q13 touches).
+type TPCHCustomer struct {
+	CustKey int32
+}
+
+// TPCHOrder is one orders row (the columns Q13 touches).
+type TPCHOrder struct {
+	OrderKey int32
+	CustKey  int32
+	Comment  string
+}
+
+// TPCH holds the generated subset.
+type TPCH struct {
+	Customers []TPCHCustomer
+	Orders    []TPCHOrder
+}
+
+var commentWords = []string{
+	"furiously", "carefully", "quickly", "blithely", "deposits", "accounts",
+	"packages", "theodolites", "instructions", "foxes", "pinto", "beans",
+	"ideas", "pending", "express", "regular", "final", "bold", "even",
+	"silent", "sleep", "haggle", "nag", "wake", "cajole",
+}
+
+// GenerateTPCH builds the Q13 subset at the given scale factor (the paper
+// uses 0.1 for memory reasons). specialFraction controls how many order
+// comments contain "special ... requests" (dbgen yields roughly 1%).
+func GenerateTPCH(seed int64, sf float64, specialFraction float64) *TPCH {
+	r := rand.New(rand.NewSource(seed))
+	nCust := int(float64(CustomersPerSF) * sf)
+	nOrd := int(float64(OrdersPerSF) * sf)
+	t := &TPCH{
+		Customers: make([]TPCHCustomer, nCust),
+		Orders:    make([]TPCHOrder, nOrd),
+	}
+	for i := range t.Customers {
+		t.Customers[i] = TPCHCustomer{CustKey: int32(i + 1)}
+	}
+	for i := range t.Orders {
+		// dbgen assigns orders to two thirds of customers: customers
+		// whose key is ≡ 0 (mod 3) stay orderless.
+		ck := int32(r.Intn(nCust) + 1)
+		for ck%3 == 0 {
+			ck = int32(r.Intn(nCust) + 1)
+		}
+		t.Orders[i] = TPCHOrder{
+			OrderKey: int32(i + 1),
+			CustKey:  ck,
+			Comment:  genComment(r, specialFraction),
+		}
+	}
+	return t
+}
+
+func genComment(r *rand.Rand, specialFraction float64) string {
+	n := 5 + r.Intn(6)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = commentWords[r.Intn(len(commentWords))]
+	}
+	if r.Float64() < specialFraction {
+		// The phrase Q13 excludes: "special" followed later by
+		// "requests" (the LIKE pattern is %special%requests%).
+		i := r.Intn(n - 1)
+		words[i] = "special"
+		words[i+1+r.Intn(n-i-1)] = "requests"
+	}
+	out := words[0]
+	for _, w := range words[1:] {
+		out += " " + w
+	}
+	return out
+}
+
+// Q13Reference computes TPC-H Q13's answer directly (the c_count →
+// custdist histogram), the oracle the SQL engine is validated against.
+// Orders whose comment matches the exclusion pattern are skipped.
+func (t *TPCH) Q13Reference(excluded func(comment string) bool) map[int]int {
+	perCust := make(map[int32]int, len(t.Customers))
+	for _, c := range t.Customers {
+		perCust[c.CustKey] = 0
+	}
+	for _, o := range t.Orders {
+		if excluded(o.Comment) {
+			continue
+		}
+		if _, ok := perCust[o.CustKey]; ok {
+			perCust[o.CustKey]++
+		}
+	}
+	hist := make(map[int]int)
+	for _, cnt := range perCust {
+		hist[cnt]++
+	}
+	return hist
+}
+
+// AddressTableName is the table name used across examples and experiments.
+const AddressTableName = "address_table"
+
+// FormatRow renders an (id, address) pair for datagen output.
+func FormatRow(id int, addr string) string {
+	return fmt.Sprintf("%d\t%s", id, addr)
+}

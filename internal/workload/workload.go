@@ -1,0 +1,170 @@
+// Package workload generates the paper's evaluation data (§7.1.1): shipment
+// address strings of the form
+//
+//	John|Smith|44 Koblenzer Strasse|60327|Frankfurt
+//
+// stored in a two-column table (INT id, VARCHAR address). Strings default to
+// 64 bytes. Hits for a query are inserted uniformly at random with a target
+// selectivity, so every experiment knows its ground truth by construction.
+// The package also generates the TPC-H SF-0.1 customer/orders subset used by
+// the complex-query experiment (Figure 12, TPC-H Q13).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Default string length in the evaluation.
+const DefaultStrLen = 64
+
+// Name/street/city pools. Deliberately free of the evaluation patterns so
+// that non-hit rows never match (Strasse, Str., 8xxxx zips, currency
+// amounts, and AAA:9999 codes are only injected as hits).
+var (
+	firstNames = []string{"John", "Anna", "Hans", "Maria", "Peter", "Julia",
+		"Karl", "Nina", "Oskar", "Lena", "Felix", "Carla"}
+	lastNames = []string{"Smith", "Miller", "Maier", "Weber", "Fischer",
+		"Wagner", "Becker", "Hoffmann", "Koch", "Richter"}
+	streets = []string{"Lindenweg", "Hauptallee", "Gartenpfad", "Mühlgasse",
+		"Am Anger", "Ringweg", "Talgrund", "Ufersteig", "Birkenallee"}
+	cities = []string{"Frankfurt", "Muenchen", "Zuerich", "Wien", "Hamburg",
+		"Basel", "Koeln", "Dresden", "Leipzig", "Bremen"}
+)
+
+// Queries of the evaluation (§7.1.1) plus the hybrid query QH (§7.8).
+const (
+	Q1Like  = `%Strasse%`
+	Q1Regex = `Strasse`
+	Q2      = `(Strasse|Str\.).*(8[0-9]{4})`
+	Q3      = `[0-9]+(USD|EUR|GBP)`
+	Q4      = `[A-Za-z]{3}\:[0-9]{4}`
+	QH      = `(Strasse|Str\.).*(8[0-9]{4}).*delivery`
+	// Table1Pattern is the multi-substring pattern of the introduction.
+	Table1Like     = `%Alan%Turing%Cheshire%`
+	Table1Regex    = `Alan.*Turing.*Cheshire`
+	Table1Contains = `Alan & Turing & Cheshire`
+)
+
+// HitKind selects which query's hit is injected into a row.
+type HitKind int
+
+// Hit kinds for the generator.
+const (
+	HitNone   HitKind = iota
+	HitQ1             // ...Strasse...
+	HitQ2             // Strasse/Str. followed by an 8xxxx zip
+	HitQ3             // amount + currency
+	HitQ4             // AAA:9999 code
+	HitQH             // Q2 hit followed by "delivery"
+	HitTable1         // Alan ... Turing ... Cheshire
+)
+
+// Generator produces address rows deterministically from a seed.
+type Generator struct {
+	rng    *rand.Rand
+	strLen int
+}
+
+// NewGenerator creates a generator; strLen <= 0 selects DefaultStrLen.
+func NewGenerator(seed int64, strLen int) *Generator {
+	if strLen <= 0 {
+		strLen = DefaultStrLen
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), strLen: strLen}
+}
+
+// Row produces one address string, injecting the hit kind's pattern.
+func (g *Generator) Row(kind HitKind) string {
+	r := g.rng
+	first := firstNames[r.Intn(len(firstNames))]
+	last := lastNames[r.Intn(len(lastNames))]
+	city := cities[r.Intn(len(cities))]
+	num := r.Intn(98) + 1
+	var street, zip, extra string
+	switch kind {
+	case HitQ1:
+		street = "Koblenzer Strasse"
+		zip = fmt.Sprintf("%05d", 10000+r.Intn(60000))
+	case HitQ2:
+		if r.Intn(2) == 0 {
+			street = "Koblenzer Strasse"
+		} else {
+			street = "Koblenzer Str."
+		}
+		zip = fmt.Sprintf("8%04d", r.Intn(10000))
+	case HitQH:
+		street = "Koblenzer Strasse"
+		zip = fmt.Sprintf("8%04d", r.Intn(10000))
+		extra = "delivery"
+	case HitQ3:
+		street = streets[r.Intn(len(streets))]
+		zip = fmt.Sprintf("%05d", 10000+r.Intn(60000))
+		cur := []string{"USD", "EUR", "GBP"}[r.Intn(3)]
+		extra = fmt.Sprintf("%d%s", r.Intn(900)+10, cur)
+	case HitQ4:
+		street = streets[r.Intn(len(streets))]
+		zip = fmt.Sprintf("%05d", 10000+r.Intn(60000))
+		extra = fmt.Sprintf("%c%c%c:%04d",
+			'A'+r.Intn(26), 'a'+r.Intn(26), 'a'+r.Intn(26), r.Intn(10000))
+	case HitTable1:
+		first, last = "Alan", "Turing"
+		street = streets[r.Intn(len(streets))]
+		zip = fmt.Sprintf("%05d", 10000+r.Intn(60000))
+		city = "Cheshire"
+	default:
+		street = streets[r.Intn(len(streets))]
+		// Avoid zips starting with 8 so Q2 has zero false hits.
+		zip = fmt.Sprintf("%d%04d", 1+r.Intn(7), r.Intn(10000))
+	}
+	s := fmt.Sprintf("%s|%s|%d %s|%s|%s", first, last, num, street, zip, city)
+	if extra != "" {
+		s += "|" + extra
+	}
+	return g.pad(s)
+}
+
+// pad brings the row to the generator's fixed length (truncating from the
+// middle never removes an injected hit because hits sit in the left half;
+// padding appends neutral filler).
+func (g *Generator) pad(s string) string {
+	if len(s) >= g.strLen {
+		return s
+	}
+	return s + strings.Repeat(".", g.strLen-len(s))
+}
+
+// Table generates n rows with the given hit kind at the target selectivity;
+// hit rows are chosen uniformly at random. It returns the rows and the
+// exact number of injected hits.
+func (g *Generator) Table(n int, kind HitKind, selectivity float64) ([]string, int) {
+	rows := make([]string, n)
+	hits := 0
+	for i := range rows {
+		k := HitNone
+		if g.rng.Float64() < selectivity {
+			k = kind
+			hits++
+		}
+		rows[i] = g.Row(k)
+	}
+	return rows, hits
+}
+
+// MixedTable generates n rows where each query kind gets the target
+// selectivity independently (used by multi-query experiments).
+func (g *Generator) MixedTable(n int, selectivity float64, kinds ...HitKind) []string {
+	rows := make([]string, n)
+	for i := range rows {
+		k := HitNone
+		for _, cand := range kinds {
+			if g.rng.Float64() < selectivity/float64(len(kinds)) {
+				k = cand
+				break
+			}
+		}
+		rows[i] = g.Row(k)
+	}
+	return rows
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"doppiodb/internal/strmatch"
+	"doppiodb/internal/token"
+)
+
+func matcher(t *testing.T, pat string) func(string) bool {
+	t.Helper()
+	p, err := token.CompilePattern(pat, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(s string) bool { return p.MatchString(s) != 0 }
+}
+
+func TestSelectivityByConstruction(t *testing.T) {
+	// The generator's injected hit count must exactly equal the number
+	// of rows each query matches: no false positives from filler text.
+	cases := []struct {
+		kind HitKind
+		pat  string
+	}{
+		{HitQ1, Q1Regex},
+		{HitQ2, Q2},
+		{HitQ3, Q3},
+		{HitQ4, Q4},
+		{HitQH, QH},
+		{HitTable1, Table1Regex},
+	}
+	for _, c := range cases {
+		g := NewGenerator(7, 64)
+		rows, hits := g.Table(20_000, c.kind, 0.2)
+		m := matcher(t, c.pat)
+		got := 0
+		for _, r := range rows {
+			if m(r) {
+				got++
+			}
+		}
+		if got != hits {
+			t.Errorf("kind %d pattern %q: matched %d, injected %d",
+				c.kind, c.pat, got, hits)
+		}
+		frac := float64(hits) / float64(len(rows))
+		if frac < 0.18 || frac > 0.22 {
+			t.Errorf("kind %d: selectivity %.3f, want ≈0.2", c.kind, frac)
+		}
+	}
+}
+
+func TestHitKindsAreDisjointFromOtherQueries(t *testing.T) {
+	// A Q1 hit must not accidentally satisfy Q2, Q3 or Q4 etc., so
+	// multi-query experiments have independent ground truth.
+	g := NewGenerator(3, 64)
+	rows, _ := g.Table(5_000, HitQ1, 1.0)
+	for _, pat := range []string{Q2, Q3, Q4} {
+		m := matcher(t, pat)
+		for _, r := range rows {
+			if m(r) {
+				t.Fatalf("Q1 hit row %q matches %q", r, pat)
+			}
+		}
+	}
+	rows, _ = g.Table(5_000, HitNone, 0)
+	for _, pat := range []string{Q1Regex, Q2, Q3, Q4, QH, Table1Regex} {
+		m := matcher(t, pat)
+		for _, r := range rows {
+			if m(r) {
+				t.Fatalf("non-hit row %q matches %q", r, pat)
+			}
+		}
+	}
+}
+
+func TestRowLength(t *testing.T) {
+	g := NewGenerator(1, 64)
+	for kind := HitNone; kind <= HitTable1; kind++ {
+		for i := 0; i < 200; i++ {
+			r := g.Row(kind)
+			if len(r) < 64 {
+				t.Fatalf("kind %d row too short: %q", kind, r)
+			}
+			if len(r) > 96 {
+				t.Fatalf("kind %d row too long (%d): %q", kind, len(r), r)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewGenerator(42, 64).Table(1000, HitQ2, 0.2)
+	b, _ := NewGenerator(42, 64).Table(1000, HitQ2, 0.2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestQHHitsAreQ2Hits(t *testing.T) {
+	// §7.8: "all strings matching the first part will contain the last
+	// part as well" — QH hits satisfy Q2, and the delivery postfix.
+	g := NewGenerator(11, 80)
+	rows, _ := g.Table(2_000, HitQH, 1.0)
+	q2 := matcher(t, Q2)
+	for _, r := range rows {
+		if !q2(r) {
+			t.Fatalf("QH hit does not match Q2: %q", r)
+		}
+		if !strings.Contains(r, "delivery") {
+			t.Fatalf("QH hit lacks delivery: %q", r)
+		}
+	}
+}
+
+func TestTable1LikeAgreesWithRegex(t *testing.T) {
+	g := NewGenerator(5, 64)
+	rows, hits := g.Table(5_000, HitTable1, 0.3)
+	lp, err := strmatch.CompileLike(Table1Like, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, r := range rows {
+		if lp.MatchString(r) {
+			got++
+		}
+	}
+	if got != hits {
+		t.Errorf("LIKE matched %d, injected %d", got, hits)
+	}
+}
+
+func TestGenerateTPCH(t *testing.T) {
+	tp := GenerateTPCH(9, 0.01, 0.01)
+	if len(tp.Customers) != 1500 || len(tp.Orders) != 15000 {
+		t.Fatalf("cardinalities: %d customers, %d orders",
+			len(tp.Customers), len(tp.Orders))
+	}
+	// No order references a mod-3 customer or an out-of-range key.
+	special := 0
+	lp, _ := strmatch.CompileLike(`%special%requests%`, false)
+	for _, o := range tp.Orders {
+		if o.CustKey%3 == 0 || o.CustKey < 1 || int(o.CustKey) > len(tp.Customers) {
+			t.Fatalf("bad custkey %d", o.CustKey)
+		}
+		if lp.MatchString(o.Comment) {
+			special++
+		}
+	}
+	if special == 0 {
+		t.Error("no special-requests comments generated")
+	}
+	frac := float64(special) / float64(len(tp.Orders))
+	if frac < 0.003 || frac > 0.03 {
+		t.Errorf("special fraction %.4f out of range", frac)
+	}
+}
+
+func TestQ13Reference(t *testing.T) {
+	tp := GenerateTPCH(9, 0.01, 0.01)
+	lp, _ := strmatch.CompileLike(`%special%requests%`, false)
+	hist := tp.Q13Reference(func(c string) bool { return lp.MatchString(c) })
+	totalCust := 0
+	totalOrders := 0
+	for cnt, n := range hist {
+		totalCust += n
+		totalOrders += cnt * n
+	}
+	if totalCust != len(tp.Customers) {
+		t.Errorf("histogram covers %d customers, want %d", totalCust, len(tp.Customers))
+	}
+	if hist[0] == 0 {
+		t.Error("no zero-order customers; dbgen's mod-3 rule should create them")
+	}
+	if totalOrders == 0 || totalOrders > len(tp.Orders) {
+		t.Errorf("histogram orders = %d", totalOrders)
+	}
+}
+
+func TestMixedTable(t *testing.T) {
+	g := NewGenerator(2, 64)
+	rows := g.MixedTable(10_000, 0.4,
+		HitQ1, HitQ2, HitQ3, HitQ4)
+	if len(rows) != 10_000 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Every kind should appear at roughly selectivity/kinds frequency.
+	for _, c := range []struct {
+		pat string
+	}{{Q2}, {Q3}, {Q4}} {
+		m := matcher(t, c.pat)
+		hits := 0
+		for _, r := range rows {
+			if m(r) {
+				hits++
+			}
+		}
+		frac := float64(hits) / float64(len(rows))
+		if frac < 0.05 || frac > 0.15 {
+			t.Errorf("%q: fraction %.3f, want ≈0.1", c.pat, frac)
+		}
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	if got := FormatRow(3, "abc"); got != "3\tabc" {
+		t.Errorf("FormatRow = %q", got)
+	}
+}
