@@ -5,13 +5,19 @@
 //
 //	doppiobench [-experiment all|table1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15]
 //	            [-sample N] [-seed S] [-selectivity F]
+//	            [-json] [-metrics-out FILE.json]
 //
 // -sample sets how many rows the functional engines execute per
 // measurement (work is extrapolated to the paper's row counts); larger
-// samples tighten the work estimates at the cost of runtime.
+// samples tighten the work estimates at the cost of runtime. -json replaces
+// the text tables with one machine-readable JSON document holding every
+// experiment result plus the final telemetry snapshot; -metrics-out
+// additionally writes the telemetry registry (counters, gauges, histograms
+// accumulated across every simulated system the run booted) to a file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,17 +25,28 @@ import (
 	"strings"
 
 	"doppiodb/internal/experiments"
+	"doppiodb/internal/telemetry"
 )
+
+// namedResult pairs an experiment result with its type-derived name for the
+// -json document.
+type namedResult struct {
+	Experiment string `json:"experiment"`
+	Result     any    `json:"result"`
+}
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run (all, table1, fig8..fig15)")
-		sampl = flag.Int("sample", experiments.DefaultSampleRows, "functional sample rows")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		sel   = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
+		which   = flag.String("experiment", "all", "experiment to run (all, table1, fig8..fig15)")
+		sampl   = flag.Int("sample", experiments.DefaultSampleRows, "functional sample rows")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		sel     = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		metOut  = flag.String("metrics-out", "", "write the telemetry snapshot to this JSON file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel}
+	jsonMode = *jsonOut
 
 	type exp struct {
 		name string
@@ -104,19 +121,66 @@ func main() {
 			fmt.Fprintf(os.Stderr, "doppiobench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(out)
+		if !jsonMode {
+			fmt.Fprintln(out)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "doppiobench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+	if jsonMode {
+		doc := struct {
+			Experiments []namedResult      `json:"experiments"`
+			Metrics     telemetry.Snapshot `json:"metrics"`
+		}{results, telemetry.Default().Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: encode results: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.Default().WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "doppiobench: telemetry snapshot written to %s\n", *metOut)
+	}
 }
+
+// jsonMode switches render from text tables to result collection.
+var jsonMode bool
+
+// results accumulates experiment results for the -json document.
+var results []namedResult
 
 func render(r any, err error, out io.Writer) {
 	if err != nil {
 		return
 	}
+	if jsonMode {
+		results = append(results, namedResult{resultName(r), r})
+		return
+	}
 	if v, ok := r.(interface{ Render(io.Writer) }); ok {
 		v.Render(out)
 	}
+}
+
+// resultName derives the experiment name from the result's type
+// (e.g. *experiments.Table1Result → "table1").
+func resultName(r any) string {
+	n := strings.TrimPrefix(fmt.Sprintf("%T", r), "*experiments.")
+	return strings.ToLower(strings.TrimSuffix(n, "Result"))
 }

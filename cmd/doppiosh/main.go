@@ -11,6 +11,11 @@
 // preloads `address_table` with the paper's workload; -tpch additionally
 // loads `customer` and `orders`. -auto enables the §9 cost-based optimizer
 // that transparently offloads REGEXP_LIKE to the FPGA when predicted faster.
+//
+// Meta-commands: `\metrics` dumps every telemetry counter and gauge of the
+// running system (PU utilization, QPI bytes, DSM status counters, allocator
+// gauges, operator counts), `\trace` prints the last query's lifecycle span
+// tree with simulated and wall-clock durations, `\q` quits.
 package main
 
 import (
@@ -24,8 +29,12 @@ import (
 	"doppiodb/internal/core"
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/sql"
+	"doppiodb/internal/telemetry"
 	"doppiodb/internal/workload"
 )
+
+// lastTrace is the span tree of the most recent query, for \trace.
+var lastTrace *telemetry.Span
 
 func main() {
 	var (
@@ -58,11 +67,14 @@ func main() {
 
 	if *eval != "" {
 		for _, stmt := range splitStatements(*eval) {
+			if meta(sys, stmt) {
+				continue
+			}
 			run(engine, stmt)
 		}
 		return
 	}
-	fmt.Fprintln(os.Stderr, `doppiosh — end statements with ';', exit with \q`)
+	fmt.Fprintln(os.Stderr, `doppiosh — end statements with ';', \metrics for telemetry, exit with \q`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -73,16 +85,44 @@ func main() {
 		if strings.TrimSpace(line) == `\q` {
 			return
 		}
+		if meta(sys, line) {
+			prompt()
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
 			for _, stmt := range splitStatements(buf.String()) {
+				if meta(sys, stmt) {
+					continue
+				}
 				run(engine, stmt)
 			}
 			buf.Reset()
 		}
 		prompt()
 	}
+}
+
+// meta executes a backslash meta-command, reporting whether cmd was one.
+func meta(sys *core.System, cmd string) bool {
+	switch strings.TrimSpace(cmd) {
+	case `\metrics`:
+		sys.Tel.WriteText(os.Stdout)
+		if lastTrace != nil {
+			fmt.Println("\nlast query trace:")
+			lastTrace.WriteTree(os.Stdout)
+		}
+		return true
+	case `\trace`:
+		if lastTrace == nil {
+			fmt.Fprintln(os.Stderr, "no query traced yet")
+			return true
+		}
+		lastTrace.WriteTree(os.Stdout)
+		return true
+	}
+	return false
 }
 
 // splitStatements splits on `;` outside string literals.
@@ -118,6 +158,9 @@ func run(engine *sql.Engine, stmt string) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
+	}
+	if res.Trace != nil {
+		lastTrace = res.Trace
 	}
 	printTable(res)
 	note := ""

@@ -33,6 +33,7 @@ func main() {
 		gen     = flag.Int("gen", 0, "generate N address rows instead of reading input")
 		sel     = flag.Float64("selectivity", 0.2, "hit selectivity with -gen")
 		quiet   = flag.Bool("quiet", false, "suppress per-line output")
+		trace   = flag.Bool("trace", false, "print the query-lifecycle span tree")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -103,6 +104,10 @@ func main() {
 		res.MatchCount, len(rows), res.Total(),
 		res.Breakdown.Get(core.PhaseHardware))
 	fmt.Fprintf(os.Stderr, "device: %s\n", s.Device)
+	if *trace && res.Trace != nil {
+		fmt.Fprintln(os.Stderr, "trace:")
+		res.Trace.WriteTree(os.Stderr)
+	}
 }
 
 func fatal(err error) {

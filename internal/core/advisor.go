@@ -1,14 +1,31 @@
 package core
 
+import "doppiodb/internal/sim"
+
 // AdviseOffload implements sql.PlacementAdvisor: it answers whether the
 // hardware implementation is predicted to beat software for this predicate,
 // taking the FPGA's current queued load into account. Errors (e.g. the
 // pattern cannot even be split) conservatively keep the predicate in
 // software.
+//
+// Every decision records the cost model's predictions in the system's
+// telemetry registry (core.advisor.predicted_hw_ns / predicted_sw_ns), so
+// they can be compared post-hoc against the realized response time
+// accumulated in core.actual_ns.
 func (s *System) AdviseOffload(pattern string, rows, avgLen int) bool {
+	s.Tel.Counter("core.advisor.decisions").Inc()
 	est, err := s.EstimateCost(pattern, rows, avgLen, s.QueuedBytes())
 	if err != nil {
+		s.Tel.Counter("core.advisor.errors").Inc()
 		return false
 	}
-	return est.Placement == PlaceFPGA || est.Placement == PlaceHybrid
+	s.Tel.Counter("core.advisor.predicted_hw_ns").Add(
+		int64((est.HWTime + est.QueueDelay) / sim.Nanosecond))
+	s.Tel.Counter("core.advisor.predicted_sw_ns").Add(
+		int64(est.SWTime / sim.Nanosecond))
+	offload := est.Placement == PlaceFPGA || est.Placement == PlaceHybrid
+	if offload {
+		s.Tel.Counter("core.advisor.offloaded").Inc()
+	}
+	return offload
 }

@@ -28,6 +28,7 @@ import (
 	"doppiodb/internal/sim"
 	"doppiodb/internal/softregex"
 	"doppiodb/internal/strmatch"
+	"doppiodb/internal/telemetry"
 	"doppiodb/internal/token"
 )
 
@@ -54,6 +55,9 @@ type Options struct {
 	RegionBytes uint64
 	// Model overrides the calibrated perf model.
 	Model *perf.Model
+	// Telemetry receives every layer's metrics. Nil selects the
+	// process-wide default registry.
+	Telemetry *telemetry.Registry
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -63,6 +67,8 @@ type System struct {
 	HAL    *hal.HAL
 	DB     *mdb.DB
 	Model  perf.Model
+	// Tel is the registry every layer of this system reports into.
+	Tel *telemetry.Registry
 }
 
 // NewSystem boots the platform: programs the FPGA, maps the shared region,
@@ -85,13 +91,23 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Model != nil {
 		model = *opts.Model
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.Default()
+	}
 	s := &System{
 		Region: region,
 		Device: dev,
 		HAL:    h,
 		DB:     mdb.New(region),
 		Model:  model,
+		Tel:    tel,
 	}
+	// Bind every layer to the same registry: allocator gauges, HAL/engine
+	// counters, and the operator metrics of the column store.
+	region.AttachTelemetry(tel)
+	h.SetTelemetry(tel)
+	s.DB.Tel = tel
 	// The HUDF is used together with sequential_pipe (§7.1): the
 	// dataflow parallelism of the default pipeline only adds overhead
 	// around the offloaded operator.
@@ -117,6 +133,10 @@ type Result struct {
 	Work perf.Work
 	// Times per phase (simulated).
 	Breakdown *sim.Counter
+	// Trace is the query-lifecycle span tree: config-gen → job submit →
+	// QPI transfer → engine dispatch → PU match → collect, plus the hybrid
+	// post-processing stage when used.
+	Trace *telemetry.Span
 }
 
 // Total returns the simulated response time.
@@ -146,25 +166,45 @@ func (s *System) RegexpFPGA(col *bat.Strings, pattern string) (*mdb.UDFResult, e
 		Work:      res.Work,
 		HWSeconds: res.Breakdown.Get(PhaseHardware).Seconds(),
 		Breakdown: bd,
+		Trace:     res.Trace,
 	}, nil
 }
 
 // Exec runs the hardware operator with explicit compile options (the ILIKE
 // path passes FoldCase; collation costs nothing on the FPGA, §6.4).
 func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Result, error) {
+	root := telemetry.StartSpan("regexp_fpga")
+	root.SetAttr("rows", int64(col.Count()))
+	s.Tel.Counter("core.queries").Inc()
+
 	prog, err := token.CompilePattern(pattern, opts)
 	if err != nil {
 		return nil, err
 	}
 	lim := s.Device.Deployment.Limits
-	if err := config.Fits(prog, lim); err == nil {
-		return s.execDirect(col, prog, pattern)
+	var res *Result
+	if config.Fits(prog, lim) == nil {
+		res, err = s.execDirect(col, prog, pattern, root)
+	} else {
+		split := root.StartChild("plan-split")
+		hwPat, swPat, sErr := SplitPattern(pattern, lim, opts)
+		split.End()
+		if sErr != nil {
+			return nil, sErr
+		}
+		s.Tel.Counter("core.hybrid_queries").Inc()
+		res, err = s.execHybrid(col, hwPat, swPat, opts, root)
 	}
-	hwPat, swPat, err := SplitPattern(pattern, lim, opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.execHybrid(col, hwPat, swPat, opts)
+	root.End()
+	root.AddSim(res.Total())
+	root.SetAttr("matches", int64(res.MatchCount))
+	res.Trace = root
+	s.Tel.Counter("core.matches").Add(int64(res.MatchCount))
+	s.Tel.Counter("core.actual_ns").Add(int64(res.Total() / sim.Nanosecond))
+	return res, nil
 }
 
 // ExecLike offloads a LIKE/ILIKE pattern by translating it to the regex
@@ -180,17 +220,23 @@ func (s *System) ExecLike(col *bat.Strings, like string, foldCase bool) (*Result
 // execDirect runs a fully offloaded query, partitioned across all engines
 // (the FPGA parallelizes a single query by horizontally partitioning the
 // input, §7.5).
-func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern string) (*Result, error) {
+func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern string, parent *telemetry.Span) (*Result, error) {
 	var bd sim.Counter
 	bd.Add(PhaseDatabase, s.Model.DatabaseOverhead)
+	parent.NewChild("bat-scan").AddSim(s.Model.DatabaseOverhead)
 	bd.Add(PhaseUDF, s.Model.UDFOverhead)
+	parent.NewChild("hudf-software").AddSim(s.Model.UDFOverhead)
 
 	// Step 3: convert the expression into a configuration vector.
+	cg := parent.StartChild("config-gen")
 	vec, err := config.Encode(prog, s.Device.Deployment.Limits)
 	if err != nil {
 		return nil, err
 	}
 	bd.Add(PhaseConfigGen, s.Model.ConfigGenTime)
+	cg.End()
+	cg.AddSim(s.Model.ConfigGenTime)
+	cg.SetAttr("vector_bytes", int64(len(vec)))
 
 	// Step 3: allocate the result BAT (in CPU-FPGA shared memory).
 	result, err := bat.NewShorts(s.Region, col.Count())
@@ -202,14 +248,20 @@ func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern strin
 	}
 
 	// Steps 4-8: create jobs through the HAL, one partition per engine.
+	sub := parent.StartChild("job-submit")
 	jobs, err := s.submitPartitioned(vec, col, result)
 	if err != nil {
 		return nil, err
 	}
 	bd.Add(PhaseHAL, hal.CreateTime)
-	s.HAL.Drain()
+	sub.End()
+	sub.AddSim(hal.CreateTime)
+	sub.SetAttr("jobs", int64(len(jobs)))
+
+	mres := s.HAL.Drain()
 	var hwDone sim.Time
 	matches := 0
+	var cycles int64
 	for _, j := range jobs {
 		c, err := j.Completion()
 		if err != nil {
@@ -219,8 +271,39 @@ func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern strin
 			hwDone = c
 		}
 		matches += j.Stats.Matches
+		cycles += int64(j.Stats.PUCycles)
 	}
 	bd.Add(PhaseHardware, hwDone)
+
+	// The hardware phase's sub-spans run as a pipeline: QPI transfer,
+	// engine parametrization, and PU matching overlap in simulated time, so
+	// their Sim durations are inclusive and need not sum to hwDone.
+	hw := parent.NewChild("hardware")
+	hw.AddSim(hwDone)
+	qpi := hw.NewChild("qpi-transfer")
+	qpi.AddSim(mres.BusyTime)
+	qpi.SetAttr("bytes", mres.BytesMoved)
+	qpi.SetAttr("grants", mres.Grants)
+	qpi.SetAttr("switches", mres.Switches)
+	disp := hw.NewChild("engine-dispatch")
+	disp.AddSim(hal.ParametrizeTime * sim.Time(len(jobs)))
+	disp.SetAttr("jobs", int64(len(jobs)))
+	pus := s.Device.Deployment.Engines * s.Device.Deployment.PUsPerEngine
+	pm := hw.NewChild("pu-match")
+	pm.SetAttr("cycles", cycles)
+	if pus > 0 {
+		// Average per-PU busy time: PUs consume one input byte per
+		// 400 MHz cycle, striped across every deployed PU.
+		pm.AddSim(sim.PUClock.Cycles(cycles) / sim.Time(pus))
+		if hwDone > 0 {
+			s.Tel.Gauge("pu.utilization_pct").Set(
+				int64(sim.PUClock.Cycles(cycles)) * 100 / int64(hwDone*sim.Time(pus)))
+		}
+	}
+	coll := hw.NewChild("collect")
+	coll.AddSim(sim.FromSeconds(float64(col.Count()*2) / 6.5e9))
+	coll.SetAttr("result_bytes", int64(col.Count()*2))
+
 	return &Result{
 		Matches:    result,
 		MatchCount: matches,
@@ -268,15 +351,16 @@ func (s *System) submitPartitioned(vec []byte, col *bat.Strings, result *bat.Sho
 
 // execHybrid runs the prefix on the FPGA and post-processes matching rows
 // in software (§7.8).
-func (s *System) execHybrid(col *bat.Strings, hwPat, swPat string, opts token.Options) (*Result, error) {
+func (s *System) execHybrid(col *bat.Strings, hwPat, swPat string, opts token.Options, parent *telemetry.Span) (*Result, error) {
 	prog, err := token.CompilePattern(hwPat, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.execDirect(col, prog, hwPat)
+	res, err := s.execDirect(col, prog, hwPat, parent)
 	if err != nil {
 		return nil, err
 	}
+	post := parent.StartChild("cpu-post-process")
 	// A plain-literal remainder (QH's "delivery") is post-processed with
 	// a Boyer-Moore substring search — what production regex engines do
 	// for literal tails; general remainders use the backtracker.
@@ -334,6 +418,10 @@ func (s *System) execHybrid(col *bat.Strings, hwPat, swPat string, opts token.Op
 		swCost += sim.Time(work.RegexRows) * s.Model.RegexRowOverhead
 	}
 	res.Breakdown.Add(PhaseSoftware, swCost)
+	post.End()
+	post.AddSim(swCost)
+	post.SetAttr("rows", int64(work.RegexRows))
+	post.SetAttr("matches", int64(matches))
 	res.MatchCount = matches
 	res.Hybrid = true
 	res.HWPart, res.SWPart = hwPat, swPat

@@ -23,6 +23,7 @@ import (
 	"doppiodb/internal/fpga"
 	"doppiodb/internal/memmodel"
 	"doppiodb/internal/pu"
+	"doppiodb/internal/telemetry"
 	"doppiodb/internal/token"
 )
 
@@ -58,23 +59,31 @@ func (p *JobParams) Validate() error {
 }
 
 // Stats summarizes one executed job, mirroring the statistics the hardware
-// writes to the status structure (§3 step 8).
+// writes to the status structure (§3 step 8). It is the per-job view; the
+// same numbers accumulate in the engine's telemetry counters
+// (engine.jobs/strings/matches/heap_bytes, pu.cycles).
 type Stats struct {
 	Strings   int
 	Matches   int
-	HeapBytes int // heap volume the String Reader covered
+	HeapBytes int    // heap volume the String Reader covered
+	PUCycles  uint64 // PU cycles consumed (one input byte per 400 MHz cycle)
 }
 
 // Engine is one Regex Engine instance of a programmed device.
 type Engine struct {
 	ID  int
 	dev *fpga.Device
+	tel *telemetry.Registry
 }
 
-// New creates engine id of the device.
+// New creates engine id of the device, reporting into the process-wide
+// telemetry registry until SetTelemetry rewires it.
 func New(dev *fpga.Device, id int) *Engine {
-	return &Engine{ID: id, dev: dev}
+	return &Engine{ID: id, dev: dev, tel: telemetry.Default()}
 }
+
+// SetTelemetry rebinds the engine's work counters to reg.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) { e.tel = reg }
 
 // Execute runs one job functionally and returns its stats. The error paths
 // mirror the hardware's: an invalid configuration vector or an expression
@@ -90,7 +99,15 @@ func (e *Engine) Execute(p JobParams) (Stats, error) {
 	if err := config.Fits(prog, e.dev.Deployment.Limits); err != nil {
 		return Stats{}, err
 	}
-	return e.run(prog, p)
+	st, err := e.run(prog, p)
+	if err == nil {
+		e.tel.Counter("engine.jobs").Inc()
+		e.tel.Counter("engine.strings").Add(int64(st.Strings))
+		e.tel.Counter("engine.matches").Add(int64(st.Matches))
+		e.tel.Counter("engine.heap_bytes").Add(int64(st.HeapBytes))
+		e.tel.Counter("pu.cycles").Add(int64(st.PUCycles))
+	}
+	return st, err
 }
 
 // run dispatches the strings over PU workers and collects results in input
@@ -131,6 +148,7 @@ func (e *Engine) run(prog *token.Program, p JobParams) (Stats, error) {
 		total.Strings += stats[w].Strings
 		total.Matches += stats[w].Matches
 		total.HeapBytes += stats[w].HeapBytes
+		total.PUCycles += stats[w].PUCycles
 	}
 	return total, nil
 }
@@ -164,6 +182,7 @@ func (e *Engine) runRange(prog *token.Program, p JobParams, lo, hi int) (Stats, 
 		}
 		st.HeapBytes += heapSpan(end)
 	}
+	st.PUCycles = unit.Stats().Bytes
 	return st, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"doppiodb/internal/memmodel"
 	"doppiodb/internal/shmem"
 	"doppiodb/internal/sim"
+	"doppiodb/internal/telemetry"
 )
 
 // Control-block layout constants.
@@ -95,6 +96,7 @@ type HAL struct {
 	dev     *fpga.Device
 	engines []*engine.Engine
 	params  memmodel.Params
+	tel     *telemetry.Registry
 
 	mu        sync.Mutex
 	queues    [][]memmodel.Job
@@ -117,6 +119,7 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 		region: region,
 		dev:    dev,
 		params: memmodel.Default(),
+		tel:    telemetry.Default(),
 	}
 	h.params.EngineBandwidth = dev.Deployment.EngineBandwidth()
 	for i := 0; i < dev.Deployment.Engines; i++ {
@@ -145,6 +148,14 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	binary.LittleEndian.PutUint32(dsm[0:], dsmMagic)
 	binary.LittleEndian.PutUint32(dsm[4:], afuID)
 	return h, nil
+}
+
+// SetTelemetry rebinds the HAL and its engine frontends to reg.
+func (h *HAL) SetTelemetry(reg *telemetry.Registry) {
+	h.tel = reg
+	for _, e := range h.engines {
+		e.SetTelemetry(reg)
+	}
 }
 
 // Device returns the programmed device.
@@ -225,6 +236,14 @@ func (h *HAL) SubmitTo(engineID int, p engine.JobParams) (*Job, error) {
 
 	h.queues[engineID] = append(h.queues[engineID], j.Timing)
 	h.jobs[engineID] = append(h.jobs[engineID], j)
+
+	// DSM-style counters: accumulate from the status block just written,
+	// exactly as a monitor polling the Device Status Memory would.
+	h.tel.Counter("hal.jobs").Inc()
+	h.tel.Counter("hal.dsm.strings").Add(int64(binary.LittleEndian.Uint32(blk[4:])))
+	h.tel.Counter("hal.dsm.matches").Add(int64(binary.LittleEndian.Uint32(blk[8:])))
+	h.tel.Counter("hal.dsm.heap_bytes").Add(int64(binary.LittleEndian.Uint64(blk[12:])))
+	h.tel.Gauge("hal.queue_depth").Set(int64(h.queueLen))
 	return j, nil
 }
 
@@ -277,6 +296,21 @@ func (h *HAL) Drain() memmodel.Result {
 	h.queues = make([][]memmodel.Job, len(h.engines))
 	h.jobs = make([][]*Job, len(h.engines))
 	h.queueLen = 0
+
+	// QPI / arbiter telemetry from the timing simulation.
+	h.tel.Counter("qpi.bytes").Add(res.BytesMoved)
+	h.tel.Counter("qpi.busy_ns").Add(int64(res.BusyTime / sim.Nanosecond))
+	h.tel.Counter("qpi.grants").Add(res.Grants)
+	h.tel.Counter("qpi.switch_events").Add(res.Switches)
+	h.tel.Gauge("qpi.utilization_pct").Set(int64(res.Utilization() * 100))
+	if res.Grants > 0 && h.params.LineBytes > 0 {
+		// Batch efficiency: lines actually moved per grant vs. the
+		// arbiter's full batch of GrantLines.
+		lines := res.BytesMoved / int64(h.params.LineBytes)
+		h.tel.Gauge("qpi.batch_efficiency_pct").Set(
+			100 * lines / (res.Grants * int64(h.params.GrantLines)))
+	}
+	h.tel.Gauge("hal.queue_depth").Set(0)
 	return res
 }
 

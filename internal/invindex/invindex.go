@@ -12,6 +12,8 @@ import (
 	"errors"
 	"sort"
 	"strings"
+
+	"doppiodb/internal/telemetry"
 )
 
 // Index is an inverted index over a string column. The zero value is not
@@ -21,6 +23,12 @@ type Index struct {
 	indexed  int  // rows covered by the index
 	appended int  // rows added since the last (re)build
 	fold     bool // case-insensitive indexing
+
+	// Query/maintenance counters (detached telemetry instances; Stats and
+	// Search's lookups return value are views over them).
+	searches *telemetry.Counter // Search calls
+	probes   *telemetry.Counter // posting-list probes
+	rebuilds *telemetry.Counter // full rebuilds
 }
 
 // Stats describes the index footprint.
@@ -37,7 +45,13 @@ var ErrEmptyQuery = errors.New("invindex: empty CONTAINS query")
 
 // Build constructs the index over the given rows. Row i gets OID uint32(i).
 func Build(rows []string, foldCase bool) *Index {
-	ix := &Index{postings: make(map[string][]uint32), fold: foldCase}
+	ix := &Index{
+		postings: make(map[string][]uint32),
+		fold:     foldCase,
+		searches: telemetry.NewCounter(),
+		probes:   telemetry.NewCounter(),
+		rebuilds: telemetry.NewCounter(),
+	}
 	for i, s := range rows {
 		ix.addRow(uint32(i), s)
 	}
@@ -70,7 +84,16 @@ func (ix *Index) Rebuild(allRows []string) int {
 	ix.postings = fresh.postings
 	ix.indexed = fresh.indexed
 	ix.appended = 0
+	ix.rebuilds.Inc()
 	return ix.indexed
+}
+
+// AttachTelemetry publishes the index's query/maintenance counters in reg
+// under the invindex.* names.
+func (ix *Index) AttachTelemetry(reg *telemetry.Registry) {
+	reg.AttachCounter("invindex.searches", ix.searches)
+	reg.AttachCounter("invindex.probes", ix.probes)
+	reg.AttachCounter("invindex.rebuilds", ix.rebuilds)
 }
 
 // Stats returns the index footprint.
@@ -143,6 +166,8 @@ func (ix *Index) Search(q string) (oids []uint32, lookups int, err error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	ix.searches.Inc()
+	defer func() { ix.probes.Add(int64(lookups)) }()
 	// Intersect smallest-first for efficiency.
 	lists := make([][]uint32, 0, len(words))
 	for _, w := range words {

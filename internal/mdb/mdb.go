@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"doppiodb/internal/bat"
 	"doppiodb/internal/invindex"
@@ -21,6 +22,7 @@ import (
 	"doppiodb/internal/shmem"
 	"doppiodb/internal/softregex"
 	"doppiodb/internal/strmatch"
+	"doppiodb/internal/telemetry"
 )
 
 // Kind is a column type.
@@ -164,6 +166,9 @@ type UDFResult struct {
 	HWSeconds float64
 	// Breakdown maps response-time phases to simulated seconds.
 	Breakdown map[string]float64
+	// Trace is the UDF-internal span tree (config-gen → job submit → QPI
+	// transfer → PU match → post-process), when the UDF produced one.
+	Trace *telemetry.Span
 }
 
 // UDF is a BAT-level user-defined function over a string column.
@@ -181,6 +186,9 @@ type DB struct {
 	// count.
 	Mode    ExecMode
 	Threads int
+	// Tel receives operator-level metrics (scan rows in/out, operator
+	// timings). Defaults to the process-wide registry.
+	Tel *telemetry.Registry
 }
 
 // New creates a database. The region may be nil for pure-software use; with
@@ -191,6 +199,7 @@ func New(region *shmem.Region) *DB {
 		tables:  make(map[string]*Table),
 		udfs:    make(map[string]UDF),
 		Threads: 10,
+		Tel:     telemetry.Default(),
 	}
 }
 
@@ -284,6 +293,7 @@ func (db *DB) scanStrings(col *Column, match func(row []byte) (bool, perf.Work))
 	if col.Kind != KindString {
 		return nil, fmt.Errorf("mdb: string scan over %v column %q", col.Kind, col.Name)
 	}
+	start := time.Now()
 	n := col.Strs.Count()
 	w := db.workers()
 	if n < 4*w {
@@ -324,6 +334,10 @@ func (db *DB) scanStrings(col *Column, match func(row []byte) (bool, perf.Work))
 		out.OIDs = append(out.OIDs, part.OIDs...)
 		out.Work.Add(part.Work)
 	}
+	db.Tel.Counter("mdb.scan.rows").Add(int64(n))
+	db.Tel.Counter("mdb.scan.selected").Add(int64(len(out.OIDs)))
+	db.Tel.Counter("mdb.scan.bytes").Add(int64(out.Work.Bytes))
+	db.Tel.Counter("mdb.scan.wall_ns").Add(time.Since(start).Nanoseconds())
 	return out, nil
 }
 
@@ -337,6 +351,7 @@ func (db *DB) SelectLike(t *Table, colName, pattern string, foldCase bool) (*Sel
 	if err != nil {
 		return nil, err
 	}
+	db.Tel.Counter("mdb.like.queries").Inc()
 	// Byte comparisons are approximated per row from the pattern
 	// structure: Boyer-Moore segments examine a fraction of the row.
 	return db.scanStrings(col, func(row []byte) (bool, perf.Work) {
@@ -357,6 +372,7 @@ func (db *DB) SelectRegexp(t *Table, colName, pattern string, foldCase bool) (*S
 	if err != nil {
 		return nil, err
 	}
+	db.Tel.Counter("mdb.regexp.queries").Inc()
 	return db.scanStrings(col, func(row []byte) (bool, perf.Work) {
 		pos, steps := bt.Match(row)
 		return pos != 0, perf.Work{Steps: steps, RegexRows: 1}
@@ -385,6 +401,7 @@ func (db *DB) EnsureContainsIndex(t *Table, colName string) (built bool, rows in
 		all[i] = col.Strs.GetString(i)
 	}
 	col.index = invindex.Build(all, true)
+	col.index.AttachTelemetry(db.Tel)
 	return true, n, nil
 }
 
@@ -395,6 +412,7 @@ func (db *DB) SelectContains(t *Table, colName, query string) (*Selection, error
 		return nil, err
 	}
 	col, _ := t.Column(colName)
+	db.Tel.Counter("mdb.contains.queries").Inc()
 	oids, lookups, err := col.index.Search(query)
 	if err != nil {
 		return nil, err
@@ -422,6 +440,7 @@ func (db *DB) CallUDF(name string, t *Table, colName, arg string) (*UDFResult, e
 	if col.Kind != KindString {
 		return nil, fmt.Errorf("mdb: UDF %s over %v column", name, col.Kind)
 	}
+	db.Tel.Counter("mdb.udf.calls").Inc()
 	return f(col.Strs, arg)
 }
 

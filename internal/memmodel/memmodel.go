@@ -142,6 +142,12 @@ type Result struct {
 	BytesMoved int64
 	// BusyTime is the time the QPI link spent transferring.
 	BusyTime sim.Time
+	// Grants counts arbiter grants issued (telemetry: batch efficiency is
+	// lines moved vs. Grants×GrantLines).
+	Grants int64
+	// Switches counts offset↔heap phase turns that charged SwitchLatency
+	// — the stall events a lone engine cannot hide (§7.3).
+	Switches int64
 }
 
 // Utilization returns the QPI link utilization over the simulated span.
@@ -210,6 +216,7 @@ func Simulate(p Params, queues [][]Job) Result {
 			now += service
 			busy += service
 			moved += g * int64(p.LineBytes)
+			res.Grants++
 			ph.lines -= g
 			// The engine is busy consuming; it cannot take the
 			// next grant before it drains this one.
@@ -245,6 +252,7 @@ func (es *engineState) advancePhase(p Params, now sim.Time, res *Result) {
 			es.readyAt = now
 		}
 		es.readyAt += p.SwitchLatency
+		res.Switches++
 		return
 	}
 	es.done = append(es.done, now)
@@ -255,6 +263,7 @@ func (es *engineState) advancePhase(p Params, now sim.Time, res *Result) {
 			es.readyAt = now
 		}
 		es.readyAt += p.SwitchLatency
+		res.Switches++
 	}
 }
 

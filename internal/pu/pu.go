@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"doppiodb/internal/telemetry"
 	"doppiodb/internal/token"
 )
 
@@ -57,12 +58,15 @@ type Unit struct {
 	holdMask   uint32
 	acceptMask uint32
 
-	// Stats accumulate across Match calls.
-	stats Stats
+	// Work counters accumulate across Match calls. They are detached
+	// telemetry instances — the DSM-style hardware counters of this PU —
+	// and Stats() is a thin view over them.
+	strings, bytes, matches *telemetry.Counter
 }
 
 // Stats counts the work a Unit has performed; the engine model uses Cycles
-// for timing (one byte per 400 MHz cycle).
+// for timing (one byte per 400 MHz cycle). It is a snapshot view over the
+// Unit's telemetry counters.
 type Stats struct {
 	Strings uint64 // strings processed
 	Bytes   uint64 // bytes consumed = PU cycles
@@ -85,6 +89,9 @@ func New(prog *token.Program) (*Unit, error) {
 		firstPos: make([]uint, n),
 		lastPos:  make([]uint, n),
 		predMask: make([]uint32, n),
+		strings:  telemetry.NewCounter(),
+		bytes:    telemetry.NewCounter(),
+		matches:  telemetry.NewCounter(),
 	}
 	pos := uint(0)
 	for j := 0; j < n; j++ {
@@ -133,17 +140,36 @@ func New(prog *token.Program) (*Unit, error) {
 // Program returns the configured token program.
 func (u *Unit) Program() *token.Program { return u.prog }
 
-// Stats returns the accumulated work counters.
-func (u *Unit) Stats() Stats { return u.stats }
+// Stats returns a snapshot of the accumulated work counters.
+func (u *Unit) Stats() Stats {
+	return Stats{
+		Strings: uint64(u.strings.Value()),
+		Bytes:   uint64(u.bytes.Value()),
+		Matches: uint64(u.matches.Value()),
+	}
+}
 
 // ResetStats clears the work counters (per-job accounting).
-func (u *Unit) ResetStats() { u.stats = Stats{} }
+func (u *Unit) ResetStats() {
+	u.strings.Reset()
+	u.bytes.Reset()
+	u.matches.Reset()
+}
+
+// AttachTelemetry publishes this Unit's counters in a registry under the
+// given prefix (e.g. "pu.0"), as the hardware exposes per-PU counters in
+// the status structure.
+func (u *Unit) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.AttachCounter(prefix+".strings", u.strings)
+	reg.AttachCounter(prefix+".cycles", u.bytes)
+	reg.AttachCounter(prefix+".matches", u.matches)
+}
 
 // Match feeds s through the PU one byte per cycle and returns the match
 // index per the HUDF encoding: 0 for no match, else the 1-based position of
 // the first match's last character, saturating at 65535.
 func (u *Unit) Match(s []byte) uint16 {
-	u.stats.Strings++
+	u.strings.Inc()
 	var chain uint64
 	var active uint32
 	endAnchored := u.prog.EndAnchored
@@ -174,22 +200,22 @@ func (u *Unit) Match(s []byte) uint16 {
 
 		if fired&accept != 0 {
 			if !endAnchored {
-				u.stats.Bytes += uint64(i + 1)
-				u.stats.Matches++
+				u.bytes.Add(int64(i + 1))
+				u.matches.Inc()
 				return satPos(i + 1)
 			}
 			if i == len(s)-1 {
-				u.stats.Bytes += uint64(len(s))
-				u.stats.Matches++
+				u.bytes.Add(int64(len(s)))
+				u.matches.Inc()
 				return satPos(len(s))
 			}
 		}
 	}
-	u.stats.Bytes += uint64(len(s))
+	u.bytes.Add(int64(len(s)))
 	if endAnchored && active&accept&hold != 0 {
 		// A held accept position (e.g. `a.*$`) is still active when
 		// the string ends.
-		u.stats.Matches++
+		u.matches.Inc()
 		return satPos(len(s))
 	}
 	return 0

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"doppiodb/internal/telemetry"
 )
 
 // Platform constants from the paper.
@@ -65,10 +67,24 @@ type Region struct {
 	free     map[uint64][]Addr // size class -> free slab addresses
 	live     map[Addr]uint64   // allocated address -> size class (or raw size for huge)
 	pt       pageTable
-	stats    Stats
+	met      regionMetrics
+}
+
+// regionMetrics is the allocator state as detached telemetry instances —
+// the primary store; Stats() is a view over it. AttachTelemetry publishes
+// them under the shmem.* names.
+type regionMetrics struct {
+	reserved    *telemetry.Gauge   // virtual bytes handed to slab chunks / huge runs
+	live        *telemetry.Gauge   // bytes in currently allocated slabs
+	liveSlabs   *telemetry.Gauge   // number of live allocations
+	pinnedPages *telemetry.Gauge   // 2 MB pages pinned (backed by real memory)
+	pageFaults  *telemetry.Counter // pagetable misses (always 0 in correct runs)
+	allocs      *telemetry.Counter // successful Alloc calls
+	frees       *telemetry.Counter // successful Free calls
 }
 
 // Stats reports allocator state, used by tests and the doctor-style CLI.
+// It is a snapshot view over the Region's telemetry metrics.
 type Stats struct {
 	Capacity    uint64 // region capacity in bytes
 	Reserved    uint64 // virtual bytes handed to slab chunks / huge runs
@@ -104,7 +120,28 @@ func NewRegion(capacity uint64) *Region {
 			entries: make(map[uint64]struct{}),
 			limit:   int(capacity / PageSize),
 		},
+		met: regionMetrics{
+			reserved:    telemetry.NewGauge(),
+			live:        telemetry.NewGauge(),
+			liveSlabs:   telemetry.NewGauge(),
+			pinnedPages: telemetry.NewGauge(),
+			pageFaults:  telemetry.NewCounter(),
+			allocs:      telemetry.NewCounter(),
+			frees:       telemetry.NewCounter(),
+		},
 	}
+}
+
+// AttachTelemetry publishes the region's allocator metrics in reg under the
+// shmem.* names (slab usage, pinned pages, pagetable faults).
+func (r *Region) AttachTelemetry(reg *telemetry.Registry) {
+	reg.AttachGauge("shmem.reserved_bytes", r.met.reserved)
+	reg.AttachGauge("shmem.live_bytes", r.met.live)
+	reg.AttachGauge("shmem.live_slabs", r.met.liveSlabs)
+	reg.AttachGauge("shmem.pinned_pages", r.met.pinnedPages)
+	reg.AttachCounter("shmem.page_faults", r.met.pageFaults)
+	reg.AttachCounter("shmem.allocs", r.met.allocs)
+	reg.AttachCounter("shmem.frees", r.met.frees)
 }
 
 // Capacity returns the region capacity in bytes.
@@ -145,8 +182,9 @@ func (r *Region) Alloc(size int) (Addr, error) {
 			a := fl[len(fl)-1]
 			r.free[class] = fl[:len(fl)-1]
 			r.live[a] = class
-			r.stats.Live += class
-			r.stats.LiveSlabs++
+			r.met.live.Add(int64(class))
+			r.met.liveSlabs.Add(1)
+			r.met.allocs.Inc()
 			return a, nil
 		}
 		a, err := r.reserve(class)
@@ -154,8 +192,9 @@ func (r *Region) Alloc(size int) (Addr, error) {
 			return 0, err
 		}
 		r.live[a] = class
-		r.stats.Live += class
-		r.stats.LiveSlabs++
+		r.met.live.Add(int64(class))
+		r.met.liveSlabs.Add(1)
+		r.met.allocs.Inc()
 		return a, nil
 	}
 	// Huge allocation: dedicated page run, freed back as raw pages are
@@ -167,8 +206,9 @@ func (r *Region) Alloc(size int) (Addr, error) {
 		return 0, err
 	}
 	r.live[a] = run
-	r.stats.Live += run
-	r.stats.LiveSlabs++
+	r.met.live.Add(int64(run))
+	r.met.liveSlabs.Add(1)
+	r.met.allocs.Inc()
 	return a, nil
 }
 
@@ -182,9 +222,9 @@ func (r *Region) reserve(n uint64) (Addr, error) {
 	base := r.next
 	r.next += run
 	r.chunks[base] = make([]byte, run)
-	r.stats.Reserved += run
+	r.met.reserved.Add(int64(run))
 	pages := int(run / PageSize)
-	r.stats.PinnedPages += pages
+	r.met.pinnedPages.Add(int64(pages))
 	for p := base / PageSize; p < (base+run)/PageSize; p++ {
 		r.pt.entries[p] = struct{}{}
 	}
@@ -208,8 +248,9 @@ func (r *Region) Free(a Addr) error {
 		return ErrBadFree
 	}
 	delete(r.live, a)
-	r.stats.Live -= size
-	r.stats.LiveSlabs--
+	r.met.live.Add(-int64(size))
+	r.met.liveSlabs.Add(-1)
+	r.met.frees.Inc()
 	if size <= MaxSlab && sizeClass(size) == size {
 		r.free[size] = append(r.free[size], a)
 	}
@@ -262,16 +303,22 @@ func (r *Region) Translate(a Addr) bool {
 	defer r.mu.Unlock()
 	_, ok := r.pt.entries[uint64(a)/PageSize]
 	if !ok {
-		r.stats.PageFaults++
+		r.met.pageFaults.Inc()
 	}
 	return ok
 }
 
-// Stats returns a snapshot of allocator statistics.
+// Stats returns a snapshot of allocator statistics (a view over the
+// region's telemetry metrics).
 func (r *Region) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := r.stats
-	s.Capacity = r.capacity
-	return s
+	return Stats{
+		Capacity:    r.capacity,
+		Reserved:    uint64(r.met.reserved.Value()),
+		Live:        uint64(r.met.live.Value()),
+		LiveSlabs:   int(r.met.liveSlabs.Value()),
+		PinnedPages: int(r.met.pinnedPages.Value()),
+		PageFaults:  uint64(r.met.pageFaults.Value()),
+	}
 }

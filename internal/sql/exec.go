@@ -7,6 +7,7 @@ import (
 
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/perf"
+	"doppiodb/internal/telemetry"
 )
 
 // PlacementAdvisor is the optimizer hook of the paper's §9 discussion: a
@@ -27,10 +28,14 @@ type Engine struct {
 	// predicts a win (§9's "the query optimizer will then be able to
 	// dynamically decide where an operator ... will be executed").
 	Advisor PlacementAdvisor
+	// Tel receives query-level metrics (query counts, fast-path hits,
+	// rows out). Nil is safe: metrics are recorded into detached
+	// instances and simply not exported.
+	Tel *telemetry.Registry
 }
 
 // NewEngine wraps a database.
-func NewEngine(db *mdb.DB) *Engine { return &Engine{DB: db} }
+func NewEngine(db *mdb.DB) *Engine { return &Engine{DB: db, Tel: db.Tel} }
 
 // Result is a query result with work accounting.
 type Result struct {
@@ -43,27 +48,44 @@ type Result struct {
 	FastPath string
 	// UDF carries the HUDF's accounting when the query offloaded.
 	UDF *mdb.UDFResult
+	// Trace is the query-lifecycle span tree (sql-parse → scan/pipeline
+	// operators, with the HUDF's hardware sub-tree adopted when the query
+	// offloaded).
+	Trace *telemetry.Span
 }
 
 // Query parses and executes one SELECT.
 func (e *Engine) Query(src string) (*Result, error) {
+	root := telemetry.StartSpan("query")
+	p := root.StartChild("sql-parse")
 	stmt, err := Parse(src)
+	p.End()
 	if err != nil {
+		e.Tel.Counter("sql.parse_errors").Inc()
 		return nil, err
 	}
-	return e.Exec(stmt)
+	return e.exec(stmt, root)
 }
 
 // Exec executes a parsed statement.
 func (e *Engine) Exec(stmt *SelectStmt) (*Result, error) {
-	if res, ok, err := e.tryFastCount(stmt); err != nil || ok {
-		return res, err
+	return e.exec(stmt, telemetry.StartSpan("query"))
+}
+
+func (e *Engine) exec(stmt *SelectStmt, root *telemetry.Span) (*Result, error) {
+	e.Tel.Counter("sql.queries").Inc()
+	if res, ok, err := e.tryFastCount(stmt, root); err != nil || ok {
+		if err != nil {
+			return nil, err
+		}
+		e.Tel.Counter("sql.fastpath." + metricKey(res.FastPath)).Inc()
+		return e.finish(res, root), nil
 	}
 	rel, work, udf, err := e.evalFrom(stmt.From)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.runPipeline(stmt, rel)
+	res, err := e.runPipeline(stmt, rel, root)
 	if err != nil {
 		return nil, err
 	}
@@ -71,13 +93,33 @@ func (e *Engine) Exec(stmt *SelectStmt) (*Result, error) {
 	if udf != nil {
 		res.UDF = udf
 	}
-	return res, nil
+	return e.finish(res, root), nil
+}
+
+// finish closes the query's root span, grafting the HUDF's span tree under
+// it when the query offloaded, and records the output row count.
+func (e *Engine) finish(res *Result, root *telemetry.Span) *Result {
+	if res.UDF != nil && res.UDF.Trace != nil {
+		root.Adopt(res.UDF.Trace)
+	}
+	root.End()
+	res.Trace = root
+	e.Tel.Counter("sql.rows_out").Add(int64(len(res.Rows)))
+	return res
+}
+
+// metricKey normalizes a fast-path label for use inside a metric name.
+func metricKey(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return strings.ReplaceAll(s, "->", "_")
 }
 
 // tryFastCount recognizes SELECT count(*) FROM t WHERE <single string
 // predicate> — the paper's microbenchmark shape — and runs it directly on
 // the column engine without materializing rows.
-func (e *Engine) tryFastCount(stmt *SelectStmt) (*Result, bool, error) {
+func (e *Engine) tryFastCount(stmt *SelectStmt, root *telemetry.Span) (*Result, bool, error) {
 	bt, ok := stmt.From.(*BaseTable)
 	if !ok || stmt.Where == nil || len(stmt.GroupBy) != 0 ||
 		len(stmt.OrderBy) != 0 || len(stmt.Items) != 1 || stmt.Items[0].Star {
@@ -104,13 +146,26 @@ func (e *Engine) tryFastCount(stmt *SelectStmt) (*Result, bool, error) {
 			UDF:      udf,
 		}
 	}
+	// scan wraps a software column scan in a bat-scan span.
+	scan := func(f func() (*mdb.Selection, error)) (*mdb.Selection, error) {
+		sp := root.StartChild("bat-scan")
+		sel, err := f()
+		sp.End()
+		sp.SetAttr("rows", int64(tbl.Rows()))
+		if sel != nil {
+			sp.SetAttr("selected", int64(sel.Count()))
+		}
+		return sel, err
+	}
 	switch w := stmt.Where.(type) {
 	case *LikeExpr:
 		col, ok := likeColumn(w, alias)
 		if !ok {
 			return nil, false, nil
 		}
-		sel, err := e.DB.SelectLike(tbl, col, w.Pattern, w.Fold)
+		sel, err := scan(func() (*mdb.Selection, error) {
+			return e.DB.SelectLike(tbl, col, w.Pattern, w.Fold)
+		})
 		if err != nil {
 			return nil, false, err
 		}
@@ -148,7 +203,9 @@ func (e *Engine) tryFastCount(stmt *SelectStmt) (*Result, bool, error) {
 					return mk(n, out.Work, "regexp->udf", out), true, nil
 				}
 			}
-			sel, err := e.DB.SelectRegexp(tbl, ref.Column, pat, false)
+			sel, err := scan(func() (*mdb.Selection, error) {
+				return e.DB.SelectRegexp(tbl, ref.Column, pat, false)
+			})
 			if err != nil {
 				return nil, false, err
 			}
@@ -158,7 +215,9 @@ func (e *Engine) tryFastCount(stmt *SelectStmt) (*Result, bool, error) {
 			if err != nil {
 				return nil, false, err
 			}
-			sel, err := e.DB.SelectContains(tbl, col, q)
+			sel, err := scan(func() (*mdb.Selection, error) {
+				return e.DB.SelectContains(tbl, col, q)
+			})
 			if err != nil {
 				return nil, false, err
 			}
@@ -524,9 +583,11 @@ func exprUsesOnly(e Expr, rel *relation) bool {
 }
 
 // runPipeline applies WHERE, GROUP BY, projection, ORDER BY and LIMIT.
-func (e *Engine) runPipeline(stmt *SelectStmt, rel *relation) (*Result, error) {
+func (e *Engine) runPipeline(stmt *SelectStmt, rel *relation, root *telemetry.Span) (*Result, error) {
 	ev := newEvaluator(rel)
 	if stmt.Where != nil {
+		sp := root.StartChild("where")
+		sp.SetAttr("rows_in", int64(len(rel.rows)))
 		var kept [][]any
 		for _, row := range rel.rows {
 			ok, err := ev.evalBool(stmt.Where, row)
@@ -540,22 +601,34 @@ func (e *Engine) runPipeline(stmt *SelectStmt, rel *relation) (*Result, error) {
 		}
 		rel = &relation{cols: rel.cols, rows: kept}
 		ev.rel = rel
+		sp.End()
+		sp.SetAttr("rows_out", int64(len(kept)))
 	}
 
 	var res *Result
 	var err error
+	var sp *telemetry.Span
 	if len(stmt.GroupBy) > 0 || hasAggregate(stmt.Items) {
+		sp = root.StartChild("aggregate")
 		res, err = e.aggregate(stmt, rel, ev)
 	} else {
+		sp = root.StartChild("project")
 		res, err = e.project(stmt, rel, ev)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("rows_in", int64(len(rel.rows)))
+	sp.SetAttr("rows_out", int64(len(res.Rows)))
 	res.Work.Add(ev.work)
 
 	if len(stmt.OrderBy) > 0 {
-		if err := orderBy(res, stmt.OrderBy); err != nil {
+		ob := root.StartChild("order-by")
+		err := orderBy(res, stmt.OrderBy)
+		ob.End()
+		ob.SetAttr("rows", int64(len(res.Rows)))
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry —
+// the test- and exporter-facing view.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns a counter value from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge value from the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range ctrs {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.Snapshot()
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ParseSnapshot decodes a snapshot previously produced by WriteJSON —
+// the read side of the exporter round-trip.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: parse snapshot: %w", err)
+	}
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	return s, nil
+}
+
+// WriteText writes the snapshot in expvar-style text: one sorted
+// `name value` line per counter and gauge; histograms flatten to
+// `name.le.<bound>`, `name.le.inf`, `name.count` and `name.sum` lines.
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	lines := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	for k, v := range snap.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range snap.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, h := range snap.Histograms {
+		for i, b := range h.Bounds {
+			lines = append(lines, fmt.Sprintf("%s.le.%d %d", k, b, h.Counts[i]))
+		}
+		if n := len(h.Bounds); n < len(h.Counts) {
+			lines = append(lines, fmt.Sprintf("%s.le.inf %d", k, h.Counts[n]))
+		}
+		lines = append(lines, fmt.Sprintf("%s.count %d", k, h.Count))
+		lines = append(lines, fmt.Sprintf("%s.sum %d", k, h.Sum))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// MarshalJSON encodes the span tree (names, wall/sim nanoseconds,
+// attributes, children).
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(s.toJSON())
+}
