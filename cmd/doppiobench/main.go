@@ -5,7 +5,7 @@
 //
 //	doppiobench [-experiment all|table1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15]
 //	            [-sample N] [-seed S] [-selectivity F]
-//	            [-json] [-metrics-out FILE.json]
+//	            [-json] [-metrics-out FILE.json] [-faults SPEC]
 //
 // -sample sets how many rows the functional engines execute per
 // measurement (work is extrapolated to the paper's row counts); larger
@@ -14,6 +14,12 @@
 // experiment result plus the final telemetry snapshot; -metrics-out
 // additionally writes the telemetry registry (counters, gauges, histograms
 // accumulated across every simulated system the run booted) to a file.
+//
+// -faults injects hardware faults into every simulated system the run
+// boots (spec grammar in internal/faults: stuck-done=P, config-corrupt=P,
+// status-corrupt=P, handshake-loss=P, qpi=F, engine-drop=E[@AFTER][+RECOVER],
+// seed=N). Queries retried or degraded by the robustness layer show up in
+// the hal.faults.* / core.fallback.* counters of the telemetry snapshot.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strings"
 
 	"doppiodb/internal/experiments"
+	"doppiodb/internal/faults"
 	"doppiodb/internal/telemetry"
 )
 
@@ -43,10 +50,20 @@ func main() {
 		sel     = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		metOut  = flag.String("metrics-out", "", "write the telemetry snapshot to this JSON file")
+		fspec   = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel}
 	jsonMode = *jsonOut
+	if *fspec != "" {
+		in, err := faults.NewFromSpec(*fspec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
+			os.Exit(2)
+		}
+		faults.SetDefault(in)
+		fmt.Fprintf(os.Stderr, "doppiobench: fault injection active: %s\n", *fspec)
+	}
 
 	type exp struct {
 		name string

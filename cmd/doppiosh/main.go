@@ -15,7 +15,10 @@
 // Meta-commands: `\metrics` dumps every telemetry counter and gauge of the
 // running system (PU utilization, QPI bytes, DSM status counters, allocator
 // gauges, operator counts), `\trace` prints the last query's lifecycle span
-// tree with simulated and wall-clock durations, `\q` quits.
+// tree with simulated and wall-clock durations, `\health` shows the AFU
+// handshake state, the per-engine circuit breaker, and every fault/recovery
+// counter, `\q` quits. -faults injects hardware faults (same spec grammar as
+// doppiobench); degraded queries are marked on their status line.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"doppiodb/internal/core"
+	"doppiodb/internal/faults"
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/sql"
 	"doppiodb/internal/telemetry"
@@ -38,14 +42,21 @@ var lastTrace *telemetry.Span
 
 func main() {
 	var (
-		rows = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
-		sel  = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
-		tpch = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
-		auto = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
-		eval = flag.String("e", "", "execute these statements and exit")
+		rows  = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
+		sel   = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
+		tpch  = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
+		auto  = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
+		eval  = flag.String("e", "", "execute these statements and exit")
+		fspec = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
 	)
 	flag.Parse()
 
+	if *fspec != "" {
+		in, err := faults.NewFromSpec(*fspec)
+		fatal(err)
+		faults.SetDefault(in)
+		fmt.Fprintf(os.Stderr, "fault injection active: %s\n", *fspec)
+	}
 	sys, err := core.NewSystem(core.Options{RegionBytes: 2 << 30})
 	fatal(err)
 	if *rows > 0 {
@@ -121,8 +132,37 @@ func meta(sys *core.System, cmd string) bool {
 		}
 		lastTrace.WriteTree(os.Stdout)
 		return true
+	case `\health`:
+		printHealth(sys)
+		return true
 	}
 	return false
+}
+
+// printHealth renders the robustness layer's view of the hardware: the AAL
+// handshake, the per-engine circuit breaker, and the fault/recovery counters.
+func printHealth(sys *core.System) {
+	fmt.Printf("AFU present: %v\n\n", sys.HAL.AFUPresent())
+	fmt.Println("engine  state        consec-fails  jobs      fails  readmissions")
+	for _, h := range sys.HAL.Health() {
+		state := "healthy"
+		if h.Quarantined {
+			state = "QUARANTINED"
+		}
+		fmt.Printf("%6d  %-11s  %12d  %8d  %5d  %12d\n",
+			h.Engine, state, h.ConsecFails, h.Jobs, h.Fails, h.Readmissions)
+	}
+	fmt.Println()
+	for _, name := range []string{
+		"hal.faults.stuck_done", "hal.faults.config_corrupt",
+		"hal.faults.status_corrupt", "hal.faults.handshake_loss",
+		"hal.faults.engine_drop", "hal.faults.qpi_degraded",
+		"hal.retries", "hal.rehandshakes", "hal.status_scrubbed",
+		"hal.engine.quarantined", "hal.engine.readmitted",
+		"core.fallback.software",
+	} {
+		fmt.Printf("%-28s %d\n", name, sys.Tel.Counter(name).Value())
+	}
 }
 
 // splitStatements splits on `;` outside string literals.
@@ -169,6 +209,9 @@ func run(engine *sql.Engine, stmt string) {
 	}
 	if res.UDF != nil {
 		note += fmt.Sprintf(", FPGA %.3f ms simulated", res.UDF.HWSeconds*1e3)
+		if res.UDF.Degraded {
+			note += " [DEGRADED: software fallback]"
+		}
 	}
 	fmt.Fprintf(os.Stderr, "%d row(s) in %v%s\n\n", len(res.Rows), elapsed.Round(time.Microsecond), note)
 }

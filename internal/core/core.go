@@ -20,6 +20,7 @@ import (
 	"doppiodb/internal/bat"
 	"doppiodb/internal/config"
 	"doppiodb/internal/engine"
+	"doppiodb/internal/faults"
 	"doppiodb/internal/fpga"
 	"doppiodb/internal/hal"
 	"doppiodb/internal/mdb"
@@ -58,6 +59,10 @@ type Options struct {
 	// Telemetry receives every layer's metrics. Nil selects the
 	// process-wide default registry.
 	Telemetry *telemetry.Registry
+	// Faults injects hardware faults into the HAL. Nil keeps the process
+	// default (faults.Default, configurable via DOPPIO_FAULTS); pass
+	// faults.New(faults.Options{}) for an explicitly quiet injector.
+	Faults *faults.Injector
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -95,6 +100,9 @@ func NewSystem(opts Options) (*System, error) {
 	if tel == nil {
 		tel = telemetry.Default()
 	}
+	if opts.Faults != nil {
+		h.SetInjector(opts.Faults)
+	}
 	s := &System{
 		Region: region,
 		Device: dev,
@@ -129,6 +137,11 @@ type Result struct {
 	// where.
 	Hybrid         bool
 	HWPart, SWPart string
+	// Degraded reports that the FPGA path failed with a hardware fault
+	// and the result was computed by the software fallback instead;
+	// DegradedCause names the fault.
+	Degraded      bool
+	DegradedCause string
 	// Work is the software work performed (hybrid post-processing).
 	Work perf.Work
 	// Times per phase (simulated).
@@ -167,6 +180,7 @@ func (s *System) RegexpFPGA(col *bat.Strings, pattern string) (*mdb.UDFResult, e
 		HWSeconds: res.Breakdown.Get(PhaseHardware).Seconds(),
 		Breakdown: bd,
 		Trace:     res.Trace,
+		Degraded:  res.Degraded,
 	}, nil
 }
 
@@ -194,6 +208,13 @@ func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Re
 		}
 		s.Tel.Counter("core.hybrid_queries").Inc()
 		res, err = s.execHybrid(col, hwPat, swPat, opts, root)
+	}
+	if err != nil && hal.IsFault(err) {
+		// The hardware path is wedged beyond the HAL's retries: flush any
+		// partially submitted batch and degrade to the software operator.
+		s.HAL.Drain()
+		s.Tel.Counter("core.fallback.software").Inc()
+		res, err = s.execSoftware(col, pattern, opts, root, err)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"doppiodb/internal/faults"
+	"doppiodb/internal/telemetry"
+	"doppiodb/internal/token"
+	"doppiodb/internal/workload"
+)
+
+// newFaultySystem boots a system with the given injector and an isolated
+// telemetry registry.
+func newFaultySystem(t *testing.T, in *faults.Injector) *System {
+	t.Helper()
+	s, err := NewSystem(Options{
+		RegionBytes: 1 << 30,
+		Telemetry:   telemetry.NewRegistry(),
+		Faults:      in,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDegradedFallbackMatchesOracle(t *testing.T) {
+	// Engine 0 refuses every job, so the partitioned submit fails beyond
+	// the HAL's retries; Exec must degrade to the software operator and
+	// still return exactly the right matches, flagged Degraded.
+	in := faults.New(faults.Options{DropEnabled: true, DropEngine: 0})
+	s := newFaultySystem(t, in)
+	tbl, hits := loadTable(t, s, 10_000, workload.HitQ2, 0.2)
+	col, _ := tbl.Column("address_string")
+
+	res, err := s.Exec(col.Strs, workload.Q2, token.Options{})
+	if err != nil {
+		t.Fatalf("Exec did not degrade: %v", err)
+	}
+	if !res.Degraded || res.DegradedCause == "" {
+		t.Fatalf("Degraded=%v cause=%q", res.Degraded, res.DegradedCause)
+	}
+	if res.MatchCount != hits {
+		t.Errorf("degraded matched %d, want %d", res.MatchCount, hits)
+	}
+	prog, _ := token.CompilePattern(workload.Q2, token.Options{})
+	for i := 0; i < col.Strs.Count(); i++ {
+		want := uint16(prog.Match(col.Strs.Get(i)))
+		if got := res.Matches.Get(i); got != want {
+			t.Fatalf("row %d: degraded=%d oracle=%d", i, got, want)
+		}
+	}
+	if got := s.Tel.Counter("core.fallback.software").Value(); got != 1 {
+		t.Errorf("core.fallback.software = %d, want 1", got)
+	}
+	if res.Breakdown.Get(PhaseSoftware) <= 0 {
+		t.Error("degraded run recorded no software time")
+	}
+	if res.Total() <= 0 {
+		t.Error("degraded run has no simulated response time")
+	}
+}
+
+func TestDegradedFlagPropagatesToUDF(t *testing.T) {
+	// Every job wedges (stuck done bit): the UDF call itself must still
+	// answer, with the Degraded flag visible to the database layer.
+	in := faults.New(faults.Options{Seed: 2, StuckDone: 1})
+	s := newFaultySystem(t, in)
+	tbl, hits := loadTable(t, s, 2_000, workload.HitQ1, 0.2)
+
+	out, err := s.DB.CallUDF(UDFName, tbl, "address_string", workload.Q1Regex)
+	if err != nil {
+		t.Fatalf("CallUDF did not degrade: %v", err)
+	}
+	if !out.Degraded {
+		t.Error("UDFResult.Degraded not set")
+	}
+	got := 0
+	for i := 0; i < out.Result.Count(); i++ {
+		if out.Result.Get(i) != 0 {
+			got++
+		}
+	}
+	if got != hits {
+		t.Errorf("degraded UDF matched %d, want %d", got, hits)
+	}
+}
+
+func TestDegradedNotSetOnHealthyPath(t *testing.T) {
+	// A quiet injector must leave the hardware path untouched: same
+	// matches, no degradation, no fallback counter.
+	s := newFaultySystem(t, faults.New(faults.Options{}))
+	tbl, hits := loadTable(t, s, 5_000, workload.HitQ1, 0.2)
+	col, _ := tbl.Column("address_string")
+	res, err := s.Exec(col.Strs, workload.Q1Regex, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("healthy run flagged Degraded")
+	}
+	if res.MatchCount != hits {
+		t.Errorf("matched %d, want %d", res.MatchCount, hits)
+	}
+	if got := s.Tel.Counter("core.fallback.software").Value(); got != 0 {
+		t.Errorf("core.fallback.software = %d, want 0", got)
+	}
+}

@@ -1,0 +1,151 @@
+package hal
+
+import (
+	"errors"
+	"testing"
+
+	"doppiodb/internal/faults"
+	"doppiodb/internal/telemetry"
+)
+
+// quiet returns an explicitly silent injector: these tests probe edge paths
+// with injection off, and must stay deterministic even when the CI fault
+// matrix exports DOPPIO_FAULTS to the test process.
+func quiet() *faults.Injector { return faults.New(faults.Options{}) }
+
+func TestQueueFullRejectsBeforeEngineWork(t *testing.T) {
+	h, region := newHAL(t)
+	reg := telemetry.NewRegistry()
+	h.SetTelemetry(reg)
+	h.SetInjector(quiet())
+	p, _, _ := buildParams(t, region, `abc`, []string{"abc"})
+	for i := 0; i < queueSlots; i++ {
+		if _, err := h.Submit(p); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := h.Submit(p)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if IsFault(err) {
+		t.Error("ErrQueueFull misclassified as a hardware fault")
+	}
+	// Capacity is checked before Execute: the rejected submit burned no
+	// engine work and leaked no status block.
+	if got := reg.Counter("engine.jobs").Value(); got != queueSlots {
+		t.Errorf("engine.jobs = %d, want %d", got, queueSlots)
+	}
+	if len(h.blockFree) != 0 {
+		t.Errorf("rejected submit leaked %d freed blocks", len(h.blockFree))
+	}
+	h.Drain()
+	if _, err := h.Submit(p); err != nil {
+		t.Errorf("submit after drain: %v", err)
+	}
+}
+
+func TestStatusBlockReusedAfterFailedAttempt(t *testing.T) {
+	// A failed attempt returns its status block to the free list (zeroed,
+	// so reuse reads as "never written"); the next submit picks it up
+	// instead of carving a new one from the pool slab.
+	h, region := newHAL(t)
+	h.SetTelemetry(telemetry.NewRegistry())
+	h.SetInjector(faults.New(faults.Options{StuckDone: 1}))
+	p, _, _ := buildParams(t, region, `abc`, []string{"abc"})
+	if _, err := h.Submit(p); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if h.poolNext != 1 || len(h.blockFree) != 1 {
+		t.Fatalf("pool after failures: next=%d free=%d, want 1/1", h.poolNext, len(h.blockFree))
+	}
+	h.SetInjector(quiet())
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done() {
+		t.Error("job on recycled block not done")
+	}
+	if h.poolNext != 1 || len(h.blockFree) != 0 {
+		t.Errorf("pool after reuse: next=%d free=%d, want 1/0", h.poolNext, len(h.blockFree))
+	}
+}
+
+func TestHandshakeRecoveryAfterDSMClobber(t *testing.T) {
+	// External corruption of the Device Status Memory page (not injector
+	// driven): AFUPresent must report it, and the next submit must re-run
+	// the AAL handshake and proceed.
+	h, region := newHAL(t)
+	reg := telemetry.NewRegistry()
+	h.SetTelemetry(reg)
+	h.SetInjector(quiet())
+	dsm, err := region.Bytes(h.dsmAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		dsm[i] ^= 0xFF
+	}
+	if h.AFUPresent() {
+		t.Fatal("AFUPresent true on clobbered DSM")
+	}
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc"})
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatalf("submit after DSM clobber: %v", err)
+	}
+	if !j.Done() {
+		t.Error("job not done after handshake recovery")
+	}
+	if !h.AFUPresent() {
+		t.Error("handshake not re-established")
+	}
+	if got := reg.Counter("hal.faults.handshake_loss").Value(); got != 1 {
+		t.Errorf("handshake_loss = %d, want 1", got)
+	}
+	if got := reg.Counter("hal.rehandshakes").Value(); got != 1 {
+		t.Errorf("rehandshakes = %d, want 1", got)
+	}
+}
+
+func TestStatusBlockCorruptionScrubbedAtDrain(t *testing.T) {
+	// Shared memory damaged after the submit-time verification: Status
+	// reports a typed corruption error (not "pending"), and Drain scrubs
+	// the block back from the HAL's authoritative statistics.
+	h, region := newHAL(t)
+	reg := telemetry.NewRegistry()
+	h.SetTelemetry(reg)
+	h.SetInjector(quiet())
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc"})
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := region.Bytes(j.statusAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool[int(j.poolOff)+8] ^= 0x55 // damage the match count in place
+	done, serr := j.Status()
+	if done || !errors.Is(serr, ErrStatusCorrupt) {
+		t.Fatalf("Status on damaged block: done=%v err=%v", done, serr)
+	}
+	if j.Done() {
+		t.Error("Done true on corrupted block")
+	}
+	h.Drain()
+	done, serr = j.Status()
+	if serr != nil || !done {
+		t.Errorf("Status after scrub: done=%v err=%v", done, serr)
+	}
+	if j.Stats.Matches != 1 {
+		t.Errorf("authoritative stats lost: %+v", j.Stats)
+	}
+	if got := reg.Counter("hal.status_scrubbed").Value(); got != 1 {
+		t.Errorf("status_scrubbed = %d, want 1", got)
+	}
+	if c, err := j.Completion(); err != nil || c <= 0 {
+		t.Errorf("completion after scrub: %v %v", c, err)
+	}
+}

@@ -13,15 +13,27 @@
 // accumulated as memory-model jobs per engine and resolved by Drain, which
 // runs the deterministic QPI simulation and stamps every job's completion
 // time.
+//
+// Because the platform's only health signals are the DSM handshake words
+// and each job's done bit, the HAL defends the whole submit→drain spine:
+// config vectors and status blocks are checksummed (verified at engine
+// ingest and at the done-bit read), the done-bit busy-wait runs under a
+// simulated-time watchdog with bounded resubmission to other engines, and a
+// per-engine circuit breaker (health.go) quarantines engines that fail
+// repeatedly until a fresh AAL handshake readmits them. Fault scenarios are
+// driven by internal/faults; with a nil injector every defense is pure
+// bookkeeping and results and simulated timings are unchanged.
 package hal
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"doppiodb/internal/engine"
+	"doppiodb/internal/faults"
 	"doppiodb/internal/fpga"
 	"doppiodb/internal/memmodel"
 	"doppiodb/internal/shmem"
@@ -64,18 +76,29 @@ type Job struct {
 	statusAddr shmem.Addr
 	poolOff    uint32
 	region     *shmem.Region
+	penalty    sim.Time // watchdog/retry latency accrued before success
 	completed  sim.Time
 	drained    bool
 }
 
-// Done reads the done bit from the status block in shared memory — the bit
-// the UDF busy-waits on (§4.2.2 step 8).
-func (j *Job) Done() bool {
+// Status reads the job's status block from shared memory and reports
+// whether the done bit is set. A corrupted or unmapped block returns an
+// error — distinguishable from "not finished", which a bare done-bit poll
+// cannot tell apart.
+func (j *Job) Status() (done bool, err error) {
 	buf, err := j.region.Bytes(j.statusAddr)
 	if err != nil {
-		return false
+		return false, fmt.Errorf("hal: status block read: %w", err)
 	}
-	return buf[j.blockOffset()] != 0
+	return statusBlockState(buf[j.blockOffset() : j.blockOffset()+blockSize])
+}
+
+// Done reads the done bit from the status block in shared memory — the bit
+// the UDF busy-waits on (§4.2.2 step 8). It delegates to Status; errors
+// read as "not done".
+func (j *Job) Done() bool {
+	done, err := j.Status()
+	return err == nil && done
 }
 
 // Completion returns the simulated completion time of the job relative to
@@ -90,6 +113,12 @@ func (j *Job) Completion() (sim.Time, error) {
 // blockOffset is the job's status block offset inside the pool slab.
 func (j *Job) blockOffset() int { return int(j.poolOff) }
 
+// blockRef locates a status block for the free list.
+type blockRef struct {
+	addr shmem.Addr
+	off  uint32
+}
+
 // HAL is the abstraction layer instance bound to one programmed device.
 type HAL struct {
 	region  *shmem.Region
@@ -97,20 +126,26 @@ type HAL struct {
 	engines []*engine.Engine
 	params  memmodel.Params
 	tel     *telemetry.Registry
+	inj     *faults.Injector
 
 	mu        sync.Mutex
 	queues    [][]memmodel.Job
 	jobs      [][]*Job
+	queuedVol []int64 // per-engine running byte totals (the Distributor's index)
+	health    []engineHealth
 	dsmAddr   shmem.Addr
 	poolAddr  shmem.Addr
 	poolNext  int
+	blockFree []blockRef
 	queueAddr shmem.Addr
-	queueLen  int
+	queueLen  int // live reservations against queueSlots
+	slotNext  int // next descriptor slot in the shared-memory queue
 }
 
 // New boots the HAL: it performs the AAL handshake (allocating the DSM page
 // and verifying the AFU identity), allocates the shared-memory job queue,
-// and instantiates the engine frontends.
+// and instantiates the engine frontends. Fault injection defaults to the
+// process default (faults.Default); SetInjector overrides it.
 func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	if region == nil || dev == nil {
 		return nil, errors.New("hal: need a shared region and a programmed device")
@@ -120,6 +155,7 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 		dev:    dev,
 		params: memmodel.Default(),
 		tel:    telemetry.Default(),
+		inj:    faults.Default(),
 	}
 	h.params.EngineBandwidth = dev.Deployment.EngineBandwidth()
 	for i := 0; i < dev.Deployment.Engines; i++ {
@@ -127,6 +163,8 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	}
 	h.queues = make([][]memmodel.Job, len(h.engines))
 	h.jobs = make([][]*Job, len(h.engines))
+	h.queuedVol = make([]int64, len(h.engines))
+	h.health = make([]engineHealth, len(h.engines))
 
 	var err error
 	if h.dsmAddr, err = region.Alloc(shmem.MinSlab); err != nil {
@@ -158,6 +196,9 @@ func (h *HAL) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// SetInjector rebinds fault injection. nil disables it.
+func (h *HAL) SetInjector(in *faults.Injector) { h.inj = in }
+
 // Device returns the programmed device.
 func (h *HAL) Device() *fpga.Device { return h.dev }
 
@@ -175,67 +216,186 @@ func (h *HAL) AFUPresent() bool {
 }
 
 // Submit enqueues a job and lets the Job Distributor assign it to the
-// least-loaded engine, executing it functionally. The returned handle's
-// done bit is set in shared memory; its timing is resolved by Drain.
+// least-loaded admitted engine, executing it functionally. The returned
+// handle's done bit is set in shared memory; its timing is resolved by
+// Drain. Under injected faults, Submit retries on other engines (bounded)
+// before returning a typed fault error.
 func (h *HAL) Submit(p engine.JobParams) (*Job, error) {
-	h.mu.Lock()
-	target := h.leastLoadedLocked()
-	h.mu.Unlock()
-	return h.SubmitTo(target, p)
+	return h.submit(-1, p)
 }
 
 // SubmitTo enqueues a job for a specific engine (partitioned execution
-// pins each partition to its own engine).
+// pins each partition to its own engine). Pinned jobs retry on the same
+// engine only.
 func (h *HAL) SubmitTo(engineID int, p engine.JobParams) (*Job, error) {
 	if engineID < 0 || engineID >= len(h.engines) {
 		return nil, ErrBadEngine
 	}
-	st, err := h.engines[engineID].Execute(p)
-	if err != nil {
-		return nil, err
+	return h.submit(engineID, p)
+}
+
+// submit is the fault-aware submission loop: verify the handshake, pick an
+// engine, attempt, and on a hardware fault retry — a different engine when
+// unpinned — accumulating DoneWaitTimeout of simulated watchdog latency per
+// failed attempt.
+func (h *HAL) submit(pin int, p engine.JobParams) (*Job, error) {
+	h.checkHandshake()
+	cfgSum := crc32.ChecksumIEEE(p.Config)
+	var penalty sim.Time
+	var lastErr error
+	var tried uint64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		e := pin
+		if pin < 0 {
+			h.mu.Lock()
+			e = h.pickEngineLocked(tried)
+			if e < 0 {
+				e = h.pickEngineLocked(0) // all healthy engines tried: revisit
+			}
+			h.mu.Unlock()
+			if e < 0 {
+				// Every engine is quarantined: a fresh handshake plus a
+				// probe is the only way back in.
+				if !h.readmitAny() {
+					if lastErr != nil {
+						return nil, fmt.Errorf("%w (last: %v)", ErrAllQuarantined, lastErr)
+					}
+					return nil, ErrAllQuarantined
+				}
+				continue
+			}
+		} else if h.isQuarantined(e) {
+			if !h.tryReadmit(e) {
+				return nil, fmt.Errorf("hal: engine %d: %w", e, ErrEngineQuarantined)
+			}
+		}
+		j, err := h.attempt(e, p, cfgSum, penalty)
+		if err == nil {
+			h.noteSuccess(e)
+			return j, nil
+		}
+		if !IsFault(err) {
+			return nil, err
+		}
+		lastErr = err
+		h.noteFailure(e)
+		tried |= 1 << uint(e)
+		penalty += DoneWaitTimeout
+		if attempt < maxAttempts-1 {
+			h.tel.Counter("hal.retries").Inc()
+		}
+	}
+	return nil, fmt.Errorf("hal: %d attempts failed: %w (last: %v)",
+		maxAttempts, ErrRetriesExhausted, lastErr)
+}
+
+// attempt runs one submission on engine e. Capacity is checked and the
+// status block reserved *before* the engine burns any work; the engine
+// ingest verifies the config-vector checksum; and the done-bit busy-wait
+// runs under the watchdog. A failed attempt releases every reservation.
+func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time) (*Job, error) {
+	// Engine drop-out fires at the job-accept handshake, before any work.
+	if !h.inj.EngineAccepts(e) {
+		h.tel.Counter("hal.faults.engine_drop").Inc()
+		return nil, fmt.Errorf("hal: engine %d: %w", e, ErrEngineDropped)
 	}
 
+	// Reserve the queue slot and status block up front so a full queue or
+	// exhausted pool cannot burn engine work.
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.queueLen >= queueSlots {
+		h.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	statusAddr, off, err := h.allocBlockLocked()
 	if err != nil {
+		h.mu.Unlock()
 		return nil, err
 	}
+	h.queueLen++
+	h.mu.Unlock()
+	fail := func(err error) (*Job, error) {
+		h.mu.Lock()
+		h.freeBlockLocked(statusAddr, off)
+		h.queueLen--
+		h.mu.Unlock()
+		return nil, err
+	}
+
+	// Parametrize: the config vector crosses QPI (where the injector may
+	// damage it); the engine verifies the checksum at ingest, so a
+	// corrupted expression can never configure a PU.
+	cfg := p.Config
+	if h.inj.Hit(faults.ConfigCorrupt) {
+		cfg = h.inj.CorruptCopy(cfg)
+	}
+	if crc32.ChecksumIEEE(cfg) != cfgSum {
+		h.tel.Counter("hal.faults.config_corrupt").Inc()
+		return fail(fmt.Errorf("hal: engine %d: %w", e, ErrConfigCorrupt))
+	}
+	st, err := h.engines[e].Execute(p)
+	if err != nil {
+		return fail(err)
+	}
+
 	j := &Job{
-		Engine:     engineID,
+		Engine:     e,
 		Stats:      st,
 		Timing:     engine.TimingJob(p, st),
 		statusAddr: statusAddr,
 		poolOff:    off,
 		region:     h.region,
+		penalty:    penalty,
 	}
-	// Write the job descriptor into the shared-memory queue and the
-	// status block (done bit + statistics), as the engine would.
+
+	// The engine writes the status block (done bit + statistics + CRC) —
+	// unless it wedges (stuck done) or the write is damaged in flight.
+	pool, err := h.region.Bytes(statusAddr)
+	if err != nil {
+		return fail(err)
+	}
+	blk := pool[off : off+blockSize]
+	if !h.inj.Hit(faults.StuckDone) {
+		blk[0] = 1 // done bit
+		binary.LittleEndian.PutUint32(blk[4:], uint32(st.Strings))
+		binary.LittleEndian.PutUint32(blk[8:], uint32(st.Matches))
+		binary.LittleEndian.PutUint64(blk[12:], uint64(st.HeapBytes))
+		sealStatusBlock(blk)
+		if h.inj.Hit(faults.StatusCorrupt) {
+			h.inj.FlipByte(blk[4:statusChecksum])
+		}
+	}
+
+	// Step 8's busy-wait, under the simulated-time watchdog.
+	done, serr := j.Status()
+	if serr != nil {
+		h.tel.Counter("hal.faults.status_corrupt").Inc()
+		return fail(fmt.Errorf("hal: engine %d: %w", e, serr))
+	}
+	if !done {
+		h.tel.Counter("hal.faults.stuck_done").Inc()
+		return fail(fmt.Errorf("hal: engine %d: %w", e, ErrDoneTimeout))
+	}
+
+	// The job completed: publish the descriptor and register it for the
+	// timing simulation.
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	q, err := h.region.Bytes(h.queueAddr)
 	if err != nil {
+		h.freeBlockLocked(statusAddr, off)
+		h.queueLen--
 		return nil, err
 	}
-	slot := q[h.queueLen*blockSize:]
-	binary.LittleEndian.PutUint64(slot[0:], uint64(statusAddr))
-	binary.LittleEndian.PutUint32(slot[8:], uint32(engineID))
+	slot := q[h.slotNext*blockSize:]
+	binary.LittleEndian.PutUint64(slot[0:], uint64(statusAddr)+uint64(off))
+	binary.LittleEndian.PutUint32(slot[8:], uint32(e))
 	binary.LittleEndian.PutUint32(slot[12:], uint32(st.Strings))
-	h.queueLen++
+	h.slotNext++
 
-	pool, err := h.region.Bytes(h.poolAddr)
-	if err != nil {
-		return nil, err
-	}
-	blk := pool[off:]
-	blk[0] = 1 // done bit
-	binary.LittleEndian.PutUint32(blk[4:], uint32(st.Strings))
-	binary.LittleEndian.PutUint32(blk[8:], uint32(st.Matches))
-	binary.LittleEndian.PutUint64(blk[12:], uint64(st.HeapBytes))
-
-	h.queues[engineID] = append(h.queues[engineID], j.Timing)
-	h.jobs[engineID] = append(h.jobs[engineID], j)
+	h.queues[e] = append(h.queues[e], j.Timing)
+	h.jobs[e] = append(h.jobs[e], j)
+	h.queuedVol[e] += int64(j.Timing.TotalBytes())
 
 	// DSM-style counters: accumulate from the status block just written,
 	// exactly as a monitor polling the Device Status Memory would.
@@ -247,24 +407,30 @@ func (h *HAL) SubmitTo(engineID int, p engine.JobParams) (*Job, error) {
 	return j, nil
 }
 
-// leastLoadedLocked picks the engine with the smallest queued volume — the
-// Job Distributor's "next available Regex Engine" policy.
-func (h *HAL) leastLoadedLocked() int {
-	best, bestVol := 0, int64(-1)
-	for i, q := range h.queues {
-		var vol int64
-		for _, j := range q {
-			vol += int64(j.TotalBytes())
+// pickEngineLocked picks the admitted engine with the smallest queued
+// volume — the Job Distributor's "next available Regex Engine" policy —
+// skipping engines in the tried mask. O(engines) over the running totals.
+func (h *HAL) pickEngineLocked(tried uint64) int {
+	best, bestVol := -1, int64(0)
+	for i := range h.engines {
+		if h.health[i].quarantined || tried&(1<<uint(i)) != 0 {
+			continue
 		}
-		if bestVol < 0 || vol < bestVol {
-			best, bestVol = i, vol
+		if best < 0 || h.queuedVol[i] < bestVol {
+			best, bestVol = i, h.queuedVol[i]
 		}
 	}
 	return best
 }
 
-// allocBlockLocked hands out a 64-byte status block from the pool slab.
+// allocBlockLocked hands out a 64-byte status block, reusing released
+// blocks before carving new ones from the pool slab.
 func (h *HAL) allocBlockLocked() (shmem.Addr, uint32, error) {
+	if n := len(h.blockFree); n > 0 {
+		b := h.blockFree[n-1]
+		h.blockFree = h.blockFree[:n-1]
+		return b.addr, b.off, nil
+	}
 	if (h.poolNext+1)*blockSize > shmem.MinSlab {
 		// Pool exhausted: start a fresh slab.
 		a, err := h.region.Alloc(shmem.MinSlab)
@@ -279,23 +445,46 @@ func (h *HAL) allocBlockLocked() (shmem.Addr, uint32, error) {
 	return h.poolAddr, off, nil
 }
 
+// freeBlockLocked zeroes a status block (so reuse reads as "never written")
+// and returns it to the free list.
+func (h *HAL) freeBlockLocked(addr shmem.Addr, off uint32) {
+	if pool, err := h.region.Bytes(addr); err == nil {
+		clear(pool[off : off+blockSize])
+	}
+	h.blockFree = append(h.blockFree, blockRef{addr, off})
+}
+
 // Drain runs the deterministic QPI/engine timing simulation over every job
 // submitted since the last Drain, stamps each job's completion time
-// (including the HAL's fixed overheads), clears the queues, and returns the
-// simulation result.
+// (including the HAL's fixed overheads and any watchdog latency the job
+// accrued), clears the queues, and returns the simulation result. Each
+// job's status block is re-verified against its checksum and scrubbed from
+// the HAL's authoritative statistics if shared memory was corrupted after
+// submission.
 func (h *HAL) Drain() memmodel.Result {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	res := memmodel.Simulate(h.params, h.queues)
+	params := h.params
+	if f := h.inj.QPIFactor(); f > 0 {
+		// Degraded link: the batch completes, just slower.
+		params.QPIBandwidth *= f
+		h.tel.Counter("hal.faults.qpi_degraded").Inc()
+	}
+	res := memmodel.Simulate(params, h.queues)
 	for e := range h.jobs {
 		for k, j := range h.jobs[e] {
-			j.completed = res.Done[e][k] + ParametrizeTime
+			j.completed = res.Done[e][k] + ParametrizeTime + j.penalty
 			j.drained = true
+			h.scrubStatusLocked(j)
 		}
 	}
 	h.queues = make([][]memmodel.Job, len(h.engines))
 	h.jobs = make([][]*Job, len(h.engines))
+	for i := range h.queuedVol {
+		h.queuedVol[i] = 0
+	}
 	h.queueLen = 0
+	h.slotNext = 0
 
 	// QPI / arbiter telemetry from the timing simulation.
 	h.tel.Counter("qpi.bytes").Add(res.BytesMoved)
@@ -314,20 +503,40 @@ func (h *HAL) Drain() memmodel.Result {
 	return res
 }
 
+// scrubStatusLocked re-verifies a drained job's status block and rewrites
+// it from the HAL's own statistics when shared memory was corrupted after
+// the submit-time check.
+func (h *HAL) scrubStatusLocked(j *Job) {
+	pool, err := h.region.Bytes(j.statusAddr)
+	if err != nil {
+		return
+	}
+	blk := pool[j.poolOff : j.poolOff+blockSize]
+	if _, serr := statusBlockState(blk); serr == nil {
+		return
+	}
+	h.tel.Counter("hal.faults.status_corrupt").Inc()
+	h.tel.Counter("hal.status_scrubbed").Inc()
+	blk[0] = 1
+	binary.LittleEndian.PutUint32(blk[4:], uint32(j.Stats.Strings))
+	binary.LittleEndian.PutUint32(blk[8:], uint32(j.Stats.Matches))
+	binary.LittleEndian.PutUint64(blk[12:], uint64(j.Stats.HeapBytes))
+	sealStatusBlock(blk)
+}
+
 // Params exposes the memory-model parameters (tests tweak them).
 func (h *HAL) Params() *memmodel.Params { return &h.params }
 
 // QueuedBytes returns the total data volume of jobs awaiting timing
 // resolution — the FPGA's "current load", which §9 notes a stock UDF
-// interface cannot expose to the query optimizer.
+// interface cannot expose to the query optimizer. O(engines) over the
+// Distributor's running totals.
 func (h *HAL) QueuedBytes() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var total int64
-	for _, q := range h.queues {
-		for _, j := range q {
-			total += int64(j.TotalBytes())
-		}
+	for _, v := range h.queuedVol {
+		total += v
 	}
 	return total
 }

@@ -1,0 +1,255 @@
+// Engine health tracking and fault recovery: the defensive half of the
+// robustness layer. The HARP platform gives software exactly two signals
+// about the hardware's wellbeing — the AAL handshake words in the DSM and
+// the done bit of each job's status block (§2.2, §4.2.2) — so the HAL
+// derives everything else: a simulated-time watchdog on the done-bit wait,
+// checksums over the control structures that cross the QPI link, and a
+// per-engine circuit breaker that quarantines an engine after consecutive
+// failures and re-runs the handshake before readmitting it.
+package hal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"doppiodb/internal/faults"
+	"doppiodb/internal/sim"
+)
+
+// Fault-recovery tuning.
+const (
+	// maxAttempts bounds the submit retry loop: one initial attempt plus
+	// bounded resubmission to other engines.
+	maxAttempts = 3
+	// quarantineAfter is the consecutive-failure threshold of the
+	// per-engine circuit breaker.
+	quarantineAfter = 3
+	// DoneWaitTimeout is the simulated-time watchdog budget of one
+	// done-bit busy-wait. Every failed attempt adds this much latency to
+	// the job that eventually completes (degraded, never hung).
+	DoneWaitTimeout = 100 * sim.Microsecond
+)
+
+// Typed fault errors. Each maps to a detection counter under hal.faults.*;
+// IsFault groups them so callers (core.System.Exec) can degrade to the
+// software operator instead of failing the query.
+var (
+	// ErrDoneTimeout is the watchdog firing: the done bit never set
+	// within the simulated busy-wait budget.
+	ErrDoneTimeout = errors.New("hal: watchdog timeout waiting for done bit")
+	// ErrConfigCorrupt is a config-vector checksum mismatch at engine
+	// ingest (the vector was damaged crossing QPI).
+	ErrConfigCorrupt = errors.New("hal: config vector checksum mismatch at engine ingest")
+	// ErrStatusCorrupt is a status-block checksum mismatch at the
+	// done-bit read.
+	ErrStatusCorrupt = errors.New("hal: status block checksum mismatch")
+	// ErrEngineDropped is an engine refusing the job-accept handshake.
+	ErrEngineDropped = errors.New("hal: engine stopped accepting jobs")
+	// ErrEngineQuarantined is a submit pinned to an engine the circuit
+	// breaker holds quarantined.
+	ErrEngineQuarantined = errors.New("hal: engine is quarantined")
+	// ErrAllQuarantined means no engine is admitted and none could be
+	// readmitted by a fresh handshake.
+	ErrAllQuarantined = errors.New("hal: all engines quarantined")
+	// ErrRetriesExhausted means a job failed on every attempted engine.
+	ErrRetriesExhausted = errors.New("hal: job failed after bounded retries")
+)
+
+// IsFault reports whether err is a hardware-fault error the caller may
+// recover from by degrading to the software path. Validation and capacity
+// errors (bad parameters, expression over the deployed limits, ErrQueueFull)
+// are not faults: retrying or degrading cannot fix the request itself.
+func IsFault(err error) bool {
+	for _, f := range []error{
+		ErrDoneTimeout, ErrConfigCorrupt, ErrStatusCorrupt,
+		ErrEngineDropped, ErrEngineQuarantined, ErrAllQuarantined,
+		ErrRetriesExhausted,
+	} {
+		if errors.Is(err, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// EngineHealth is one engine's circuit-breaker snapshot.
+type EngineHealth struct {
+	Engine       int
+	Quarantined  bool
+	ConsecFails  int   // consecutive failed attempts (resets on success)
+	Jobs         int64 // successfully completed jobs
+	Fails        int64 // failed attempts, lifetime
+	Readmissions int64 // times the engine returned from quarantine
+}
+
+// engineHealth is the mutable tracker state. Guarded by HAL.mu.
+type engineHealth struct {
+	quarantined  bool
+	consecFails  int
+	jobs         int64
+	fails        int64
+	readmissions int64
+}
+
+// Health returns a per-engine snapshot of the circuit breaker (doppiosh's
+// \health).
+func (h *HAL) Health() []EngineHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]EngineHealth, len(h.health))
+	for i := range h.health {
+		hs := &h.health[i]
+		out[i] = EngineHealth{
+			Engine:       i,
+			Quarantined:  hs.quarantined,
+			ConsecFails:  hs.consecFails,
+			Jobs:         hs.jobs,
+			Fails:        hs.fails,
+			Readmissions: hs.readmissions,
+		}
+	}
+	return out
+}
+
+// noteSuccess records a completed job on engine e.
+func (h *HAL) noteSuccess(e int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.health[e].consecFails = 0
+	h.health[e].jobs++
+}
+
+// noteFailure records a failed attempt on engine e and trips the circuit
+// breaker after quarantineAfter consecutive failures.
+func (h *HAL) noteFailure(e int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := &h.health[e]
+	hs.consecFails++
+	hs.fails++
+	if !hs.quarantined && hs.consecFails >= quarantineAfter {
+		hs.quarantined = true
+		h.tel.Counter("hal.engine.quarantined").Inc()
+		h.tel.Gauge("hal.engines.healthy").Set(h.healthyLocked())
+	}
+}
+
+// healthyLocked counts non-quarantined engines. Caller holds h.mu.
+func (h *HAL) healthyLocked() int64 {
+	var n int64
+	for i := range h.health {
+		if !h.health[i].quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// isQuarantined reports engine e's breaker state.
+func (h *HAL) isQuarantined(e int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.health[e].quarantined
+}
+
+// tryReadmit re-runs the AAL handshake and probes engine e; on success the
+// engine returns to the distributor's rotation.
+func (h *HAL) tryReadmit(e int) bool {
+	// The handshake is the only proof the right bitstream still answers
+	// (§2.2): re-establish it before trusting the engine again.
+	if !h.AFUPresent() {
+		h.rehandshake()
+		if !h.AFUPresent() {
+			return false
+		}
+	}
+	if !h.inj.ProbeEngine(e) {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := &h.health[e]
+	if !hs.quarantined {
+		return true
+	}
+	hs.quarantined = false
+	hs.consecFails = 0
+	hs.readmissions++
+	h.tel.Counter("hal.engine.readmitted").Inc()
+	h.tel.Gauge("hal.engines.healthy").Set(h.healthyLocked())
+	return true
+}
+
+// readmitAny tries to readmit every quarantined engine, reporting whether
+// at least one came back.
+func (h *HAL) readmitAny() bool {
+	any := false
+	for e := range h.engines {
+		if h.isQuarantined(e) && h.tryReadmit(e) {
+			any = true
+		}
+	}
+	return any
+}
+
+// rehandshake rewrites the DSM handshake words — software's half of the AAL
+// protocol — after a detected handshake loss.
+func (h *HAL) rehandshake() {
+	dsm, err := h.region.Bytes(h.dsmAddr)
+	if err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(dsm[0:], dsmMagic)
+	binary.LittleEndian.PutUint32(dsm[4:], afuID)
+	h.tel.Counter("hal.rehandshakes").Inc()
+}
+
+// checkHandshake runs before every submit: it gives the injector its
+// chance to clobber the DSM, then verifies and (if needed) re-establishes
+// the handshake.
+func (h *HAL) checkHandshake() {
+	if h.inj.Hit(faults.HandshakeLoss) {
+		if dsm, err := h.region.Bytes(h.dsmAddr); err == nil {
+			h.inj.Clobber(dsm[:8])
+		}
+	}
+	if !h.AFUPresent() {
+		h.tel.Counter("hal.faults.handshake_loss").Inc()
+		h.rehandshake()
+	}
+}
+
+// Status-block checksum layout: the engine writes done bit + statistics in
+// bytes [0,20) and a CRC-32 over them at [20,24) (§3 step 8's statistics
+// write, hardened). An all-zero block is a job that never completed.
+const (
+	statusPayload  = 20
+	statusChecksum = 24
+)
+
+// sealStatusBlock stamps the checksum over a freshly written block.
+func sealStatusBlock(blk []byte) {
+	binary.LittleEndian.PutUint32(blk[statusPayload:statusChecksum],
+		crc32.ChecksumIEEE(blk[:statusPayload]))
+}
+
+// statusBlockState classifies a status block: never written (pending),
+// valid, or corrupted.
+func statusBlockState(blk []byte) (done bool, err error) {
+	zero := true
+	for _, b := range blk[:statusChecksum] {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return false, nil // engine has not written yet: still pending
+	}
+	want := binary.LittleEndian.Uint32(blk[statusPayload:statusChecksum])
+	if crc32.ChecksumIEEE(blk[:statusPayload]) != want {
+		return false, ErrStatusCorrupt
+	}
+	return blk[0] != 0, nil
+}

@@ -169,6 +169,9 @@ type UDFResult struct {
 	// Trace is the UDF-internal span tree (config-gen → job submit → QPI
 	// transfer → PU match → post-process), when the UDF produced one.
 	Trace *telemetry.Span
+	// Degraded reports that the hardware path failed and the UDF fell
+	// back to the software operator (correct result, degraded latency).
+	Degraded bool
 }
 
 // UDF is a BAT-level user-defined function over a string column.
