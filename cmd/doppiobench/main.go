@@ -5,7 +5,8 @@
 //
 //	doppiobench [-experiment all|table1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15]
 //	            [-sample N] [-seed S] [-selectivity F]
-//	            [-json] [-metrics-out FILE.json] [-faults SPEC]
+//	            [-json] [-metrics-out FILE.json] [-trace-out FILE.json]
+//	            [-mon ADDR] [-faults SPEC]
 //
 // -sample sets how many rows the functional engines execute per
 // measurement (work is extrapolated to the paper's row counts); larger
@@ -19,7 +20,14 @@
 // boots (spec grammar in internal/faults: stuck-done=P, config-corrupt=P,
 // status-corrupt=P, handshake-loss=P, qpi=F, engine-drop=E[@AFTER][+RECOVER],
 // seed=N). Queries retried or degraded by the robustness layer show up in
-// the hal.faults.* / core.fallback.* counters of the telemetry snapshot.
+// the hal.faults.* / core.fallback.* counters of the telemetry snapshot and
+// in the health section of the -json / -metrics-out documents.
+//
+// Observability: -trace-out FILE writes the flight recorder's window as a
+// Chrome-trace JSON timeline (open in ui.perfetto.dev); -mon ADDR serves
+// /metrics, /health, /trace and /debug/pprof while the run is in progress;
+// SIGQUIT dumps the flight-recorder window to stderr without stopping the
+// run.
 package main
 
 import (
@@ -28,10 +36,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"doppiodb/internal/doppiomon"
 	"doppiodb/internal/experiments"
 	"doppiodb/internal/faults"
+	"doppiodb/internal/flightrec"
+	"doppiodb/internal/hal"
 	"doppiodb/internal/telemetry"
 )
 
@@ -44,13 +57,15 @@ type namedResult struct {
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "experiment to run (all, table1, fig8..fig15)")
-		sampl   = flag.Int("sample", experiments.DefaultSampleRows, "functional sample rows")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		sel     = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
-		metOut  = flag.String("metrics-out", "", "write the telemetry snapshot to this JSON file")
-		fspec   = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
+		which    = flag.String("experiment", "all", "experiment to run (all, table1, fig8..fig15)")
+		sampl    = flag.Int("sample", experiments.DefaultSampleRows, "functional sample rows")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		sel      = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		metOut   = flag.String("metrics-out", "", "write the telemetry snapshot to this JSON file")
+		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline as Chrome-trace JSON to this file")
+		monAddr  = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
+		fspec    = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel}
@@ -63,6 +78,27 @@ func main() {
 		}
 		faults.SetDefault(in)
 		fmt.Fprintf(os.Stderr, "doppiobench: fault injection active: %s\n", *fspec)
+	}
+	// Degrade dumps and SIGQUIT forensics go to stderr; the experiments all
+	// record into the process-wide default recorder.
+	rec := flightrec.Default()
+	rec.SetSink(os.Stderr)
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			fmt.Fprintln(os.Stderr, "doppiobench: SIGQUIT: flight-recorder window follows")
+			rec.WriteText(os.Stderr)
+		}
+	}()
+	if *monAddr != "" {
+		mon, err := doppiomon.Start(*monAddr, doppiomon.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
+			os.Exit(2)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "doppiobench: monitoring endpoint on http://%s\n", mon.Addr())
 	}
 
 	type exp struct {
@@ -146,11 +182,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doppiobench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+	snap := telemetry.Default().Snapshot()
+	health := hal.SummaryFromMetrics(snap)
 	if jsonMode {
 		doc := struct {
 			Experiments []namedResult      `json:"experiments"`
 			Metrics     telemetry.Snapshot `json:"metrics"`
-		}{results, telemetry.Default().Snapshot()}
+			Health      hal.HealthCounters `json:"health"`
+		}{results, snap, health}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -159,21 +198,50 @@ func main() {
 		}
 	}
 	if *metOut != "" {
-		f, err := os.Create(*metOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := telemetry.Default().WriteJSON(f); err != nil {
+		// The snapshot document plus a health section; ParseSnapshot ignores
+		// unknown keys, so existing consumers keep working.
+		doc := struct {
+			telemetry.Snapshot
+			Health hal.HealthCounters `json:"health"`
+		}{snap, health}
+		if err := writeJSONFile(*metOut, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "doppiobench: write metrics: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "doppiobench: telemetry snapshot written to %s\n", *metOut)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
+			os.Exit(1)
+		}
+		err = flightrec.WriteChromeTrace(f, rec.Window())
+		if cErr := f.Close(); err == nil {
+			err = cErr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "doppiobench: flight-recorder timeline written to %s (%d events, %d dropped; open in ui.perfetto.dev)\n",
+			*traceOut, rec.Len(), rec.Dropped())
+	}
+}
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cErr := f.Close(); err == nil {
+		err = cErr
+	}
+	return err
 }
 
 // jsonMode switches render from text tables to result collection.

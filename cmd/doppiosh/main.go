@@ -6,6 +6,7 @@
 // Usage:
 //
 //	doppiosh [-rows N] [-selectivity F] [-tpch SF] [-auto] [-e 'stmt;...']
+//	         [-mon ADDR] [-faults SPEC]
 //
 // Without -e it reads statements (terminated by `;`) from stdin. -rows
 // preloads `address_table` with the paper's workload; -tpch additionally
@@ -17,8 +18,13 @@
 // gauges, operator counts), `\trace` prints the last query's lifecycle span
 // tree with simulated and wall-clock durations, `\health` shows the AFU
 // handshake state, the per-engine circuit breaker, and every fault/recovery
-// counter, `\q` quits. -faults injects hardware faults (same spec grammar as
-// doppiobench); degraded queries are marked on their status line.
+// counter, `\dump [FILE]` writes the flight-recorder window (to stdout, or
+// to FILE — a .json suffix selects the Chrome-trace format for
+// ui.perfetto.dev), `\q` quits. -faults injects hardware faults (same spec
+// grammar as doppiobench); degraded queries are marked on their status line
+// and trigger an automatic flight-recorder dump to stderr. -mon ADDR serves
+// the live monitoring endpoint (/metrics, /health, /trace, /debug/pprof);
+// SIGQUIT dumps the flight-recorder window to stderr at any time.
 package main
 
 import (
@@ -26,11 +32,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"doppiodb/internal/core"
+	"doppiodb/internal/doppiomon"
 	"doppiodb/internal/faults"
+	"doppiodb/internal/flightrec"
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/sql"
 	"doppiodb/internal/telemetry"
@@ -42,12 +52,13 @@ var lastTrace *telemetry.Span
 
 func main() {
 	var (
-		rows  = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
-		sel   = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
-		tpch  = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
-		auto  = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
-		eval  = flag.String("e", "", "execute these statements and exit")
-		fspec = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
+		rows    = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
+		sel     = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
+		tpch    = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
+		auto    = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
+		eval    = flag.String("e", "", "execute these statements and exit")
+		monAddr = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
+		fspec   = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
 	)
 	flag.Parse()
 
@@ -59,6 +70,27 @@ func main() {
 	}
 	sys, err := core.NewSystem(core.Options{RegionBytes: 2 << 30})
 	fatal(err)
+	// Black-box behaviour: when the fault layer degrades a query, the
+	// recorder window lands on stderr; SIGQUIT forces the same dump.
+	sys.Rec.SetSink(os.Stderr)
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			fmt.Fprintln(os.Stderr, "doppiosh: SIGQUIT: flight-recorder window follows")
+			sys.Rec.WriteText(os.Stderr)
+		}
+	}()
+	if *monAddr != "" {
+		mon, err := doppiomon.Start(*monAddr, doppiomon.Config{
+			Registry: sys.Tel,
+			Recorder: sys.Rec,
+			Health:   sys.HAL,
+		})
+		fatal(err)
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitoring endpoint on http://%s\n", mon.Addr())
+	}
 	if *rows > 0 {
 		data, hits := workload.NewGenerator(1, workload.DefaultStrLen).
 			Table(*rows, workload.HitQ2, *sel)
@@ -117,7 +149,12 @@ func main() {
 
 // meta executes a backslash meta-command, reporting whether cmd was one.
 func meta(sys *core.System, cmd string) bool {
-	switch strings.TrimSpace(cmd) {
+	trimmed := strings.TrimSpace(cmd)
+	if rest, ok := strings.CutPrefix(trimmed, `\dump`); ok && (rest == "" || rest[0] == ' ') {
+		dumpRecorder(sys.Rec, strings.TrimSpace(rest))
+		return true
+	}
+	switch trimmed {
 	case `\metrics`:
 		sys.Tel.WriteText(os.Stdout)
 		if lastTrace != nil {
@@ -137,6 +174,38 @@ func meta(sys *core.System, cmd string) bool {
 		return true
 	}
 	return false
+}
+
+// dumpRecorder writes the flight-recorder window: to stdout without an
+// argument, otherwise to the named file (a .json suffix selects the
+// Chrome-trace format; anything else the text dump).
+func dumpRecorder(rec *flightrec.Recorder, file string) {
+	if file == "" {
+		rec.WriteText(os.Stdout)
+		return
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dump: %v\n", err)
+		return
+	}
+	if strings.HasSuffix(file, ".json") {
+		err = flightrec.WriteChromeTrace(f, rec.Window())
+	} else {
+		rec.WriteText(f)
+	}
+	if cErr := f.Close(); err == nil {
+		err = cErr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dump: %v\n", err)
+		return
+	}
+	kind := "text dump"
+	if strings.HasSuffix(file, ".json") {
+		kind = "Chrome-trace timeline (open in ui.perfetto.dev)"
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder: %d event(s) written to %s as %s\n", rec.Len(), file, kind)
 }
 
 // printHealth renders the robustness layer's view of the hardware: the AAL

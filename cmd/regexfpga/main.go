@@ -21,19 +21,21 @@ import (
 
 	"doppiodb/internal/config"
 	"doppiodb/internal/core"
+	"doppiodb/internal/flightrec"
 	"doppiodb/internal/token"
 	"doppiodb/internal/workload"
 )
 
 func main() {
 	var (
-		pattern = flag.String("pattern", "", "regular expression (required)")
-		fold    = flag.Bool("i", false, "case-insensitive (collation registers)")
-		file    = flag.String("file", "", "input file (default stdin)")
-		gen     = flag.Int("gen", 0, "generate N address rows instead of reading input")
-		sel     = flag.Float64("selectivity", 0.2, "hit selectivity with -gen")
-		quiet   = flag.Bool("quiet", false, "suppress per-line output")
-		trace   = flag.Bool("trace", false, "print the query-lifecycle span tree")
+		pattern  = flag.String("pattern", "", "regular expression (required)")
+		fold     = flag.Bool("i", false, "case-insensitive (collation registers)")
+		file     = flag.String("file", "", "input file (default stdin)")
+		gen      = flag.Int("gen", 0, "generate N address rows instead of reading input")
+		sel      = flag.Float64("selectivity", 0.2, "hit selectivity with -gen")
+		quiet    = flag.Bool("quiet", false, "suppress per-line output")
+		trace    = flag.Bool("trace", false, "print the query-lifecycle span tree")
+		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline (plus the query span tree) as Chrome-trace JSON to this file")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -107,6 +109,17 @@ func main() {
 	if *trace && res.Trace != nil {
 		fmt.Fprintln(os.Stderr, "trace:")
 		res.Trace.WriteTree(os.Stderr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		err = flightrec.WriteChromeTrace(f, s.Rec.Window(), res.Trace)
+		if cErr := f.Close(); err == nil {
+			err = cErr
+		}
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "timeline written to %s (%d events; open in ui.perfetto.dev)\n",
+			*traceOut, s.Rec.Len())
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"doppiodb/internal/config"
 	"doppiodb/internal/engine"
 	"doppiodb/internal/faults"
+	"doppiodb/internal/flightrec"
 	"doppiodb/internal/fpga"
 	"doppiodb/internal/hal"
 	"doppiodb/internal/mdb"
@@ -63,6 +64,9 @@ type Options struct {
 	// default (faults.Default, configurable via DOPPIO_FAULTS); pass
 	// faults.New(faults.Options{}) for an explicitly quiet injector.
 	Faults *faults.Injector
+	// Recorder is the flight recorder the HAL and the degrade path report
+	// into. Nil selects the process-wide default recorder.
+	Recorder *flightrec.Recorder
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -74,6 +78,8 @@ type System struct {
 	Model  perf.Model
 	// Tel is the registry every layer of this system reports into.
 	Tel *telemetry.Registry
+	// Rec is the always-on flight recorder shared with the HAL.
+	Rec *flightrec.Recorder
 }
 
 // NewSystem boots the platform: programs the FPGA, maps the shared region,
@@ -103,6 +109,11 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Faults != nil {
 		h.SetInjector(opts.Faults)
 	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = flightrec.Default()
+	}
+	h.SetRecorder(rec)
 	s := &System{
 		Region: region,
 		Device: dev,
@@ -110,6 +121,7 @@ func NewSystem(opts Options) (*System, error) {
 		DB:     mdb.New(region),
 		Model:  model,
 		Tel:    tel,
+		Rec:    rec,
 	}
 	// Bind every layer to the same registry: allocator gauges, HAL/engine
 	// counters, and the operator metrics of the column store.
@@ -212,8 +224,18 @@ func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Re
 	if err != nil && hal.IsFault(err) {
 		// The hardware path is wedged beyond the HAL's retries: flush any
 		// partially submitted batch and degrade to the software operator.
+		// The flight recorder marks the degradation and dumps its window —
+		// the black-box forensics of what the hardware did leading up to it.
 		s.HAL.Drain()
 		s.Tel.Counter("core.fallback.software").Inc()
+		s.Rec.Record(flightrec.Event{
+			Type:   flightrec.EvDegrade,
+			Sim:    s.HAL.SimEpoch(),
+			Engine: -1,
+			Unit:   -1,
+			Note:   err.Error(),
+		})
+		s.Rec.DumpOnDegrade(err.Error())
 		res, err = s.execSoftware(col, pattern, opts, root, err)
 	}
 	if err != nil {

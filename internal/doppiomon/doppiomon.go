@@ -1,0 +1,200 @@
+// Package doppiomon is the live monitoring endpoint of a running doppioDB
+// process: a small HTTP listener (opt-in via the CLIs' -mon flag) serving
+//
+//	/metrics      the telemetry registry in the Prometheus text exposition
+//	              format (?format=json for the WriteJSON snapshot)
+//	/health       engine-health JSON: AFU presence, per-engine circuit
+//	              breaker state, and the aggregated health counters
+//	/trace        the flight recorder's retained window (JSON events;
+//	              ?format=perfetto for the Chrome-trace document,
+//	              ?format=text for the dump format)
+//	/debug/pprof  the standard Go profiling handlers
+//
+// The server holds references, not copies: every request renders the state
+// at request time, so a dashboard can watch a long doppiobench run live.
+package doppiomon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"doppiodb/internal/flightrec"
+	"doppiodb/internal/hal"
+	"doppiodb/internal/telemetry"
+)
+
+// HealthSource is the live view /health renders. *hal.HAL satisfies it; nil
+// reports a system that has not booted hardware.
+type HealthSource interface {
+	AFUPresent() bool
+	Health() []hal.EngineHealth
+}
+
+// Config wires the server to the process's observability state. Nil fields
+// render as empty sections rather than failing.
+type Config struct {
+	// Registry backs /metrics (nil: the process default).
+	Registry *telemetry.Registry
+	// Recorder backs /trace (nil: the process default).
+	Recorder *flightrec.Recorder
+	// Health backs /health's per-engine section.
+	Health HealthSource
+}
+
+// Server is a running monitoring endpoint.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves the
+// monitoring endpoints until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default()
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = flightrec.Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("doppiomon: listen %s: %w", addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// handleMetrics serves the registry: Prometheus text by default, the
+// WriteJSON snapshot with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.cfg.Registry.WriteJSON(w) //nolint:errcheck // best-effort response write
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Registry.WritePrometheus(w)
+}
+
+// healthDoc is /health's wire form.
+type healthDoc struct {
+	Status     string             `json:"status"` // "ok" or "degraded"
+	AFUPresent bool               `json:"afu_present"`
+	Engines    []engineHealthJSON `json:"engines,omitempty"`
+	Counters   hal.HealthCounters `json:"counters"`
+	Recorder   recorderStatusJSON `json:"recorder"`
+}
+
+type engineHealthJSON struct {
+	Engine       int   `json:"engine"`
+	Quarantined  bool  `json:"quarantined"`
+	ConsecFails  int   `json:"consec_fails"`
+	Jobs         int64 `json:"jobs"`
+	Fails        int64 `json:"fails"`
+	Readmissions int64 `json:"readmissions"`
+}
+
+type recorderStatusJSON struct {
+	Events  int    `json:"events"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+	Dumps   uint64 `json:"dumps"`
+}
+
+// handleHealth serves the engine-health document. The HTTP status mirrors
+// the verdict: 200 while every engine is admitted, 503 when quarantines or
+// a lost handshake degrade the system.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	doc := healthDoc{
+		Status:   "ok",
+		Counters: hal.SummaryFromMetrics(s.cfg.Registry.Snapshot()),
+		Recorder: recorderStatusJSON{
+			Events:  s.cfg.Recorder.Len(),
+			Total:   s.cfg.Recorder.Total(),
+			Dropped: s.cfg.Recorder.Dropped(),
+			Dumps:   s.cfg.Recorder.Dumps(),
+		},
+	}
+	if s.cfg.Health != nil {
+		doc.AFUPresent = s.cfg.Health.AFUPresent()
+		for _, e := range s.cfg.Health.Health() {
+			doc.Engines = append(doc.Engines, engineHealthJSON{
+				Engine:       e.Engine,
+				Quarantined:  e.Quarantined,
+				ConsecFails:  e.ConsecFails,
+				Jobs:         e.Jobs,
+				Fails:        e.Fails,
+				Readmissions: e.Readmissions,
+			})
+			if e.Quarantined {
+				doc.Status = "degraded"
+			}
+		}
+		if !doc.AFUPresent {
+			doc.Status = "degraded"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if doc.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // best-effort response write
+}
+
+// handleTrace serves the flight-recorder window: structured JSON events by
+// default, the Chrome-trace document with ?format=perfetto, the dump text
+// with ?format=text.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Recorder
+	switch r.URL.Query().Get("format") {
+	case "perfetto":
+		w.Header().Set("Content-Type", "application/json")
+		if err := flightrec.WriteChromeTrace(w, rec.Window()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rec.WriteText(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		doc := struct {
+			Events  []flightrec.Event `json:"events"`
+			Dropped uint64            `json:"dropped"`
+		}{Events: rec.Window(), Dropped: rec.Dropped()}
+		if doc.Events == nil {
+			doc.Events = []flightrec.Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(doc) //nolint:errcheck // best-effort response write
+	}
+}

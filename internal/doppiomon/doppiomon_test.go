@@ -1,0 +1,254 @@
+package doppiomon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/core"
+	"doppiodb/internal/flightrec"
+	"doppiodb/internal/sim"
+	"doppiodb/internal/telemetry"
+	"doppiodb/internal/workload"
+)
+
+// bootMon starts a monitoring server over a freshly booted System that has
+// run one query, so every endpoint has real state to render.
+func bootMon(t *testing.T) (*Server, *telemetry.Registry, *flightrec.Recorder) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	rec := flightrec.New(1024)
+	sys, err := core.NewSystem(core.Options{
+		RegionBytes: 64 << 20,
+		Telemetry:   reg,
+		Recorder:    rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := workload.NewGenerator(7, 64).Table(2000, workload.HitQ1, 0.1)
+	tbl, err := sys.DB.LoadAddressTable("t", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tbl.Column("address_string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ExecLike(col.Strs, workload.Q1Like, false); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Start("127.0.0.1:0", Config{Registry: reg, Recorder: rec, Health: sys.HAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, reg, rec
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// parsePrometheus reads the exposition text into name→value samples,
+// failing on any malformed line — the "parseable Prometheus" check.
+func parsePrometheus(t *testing.T, text []byte) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	sc := bufio.NewScanner(strings.NewReader(string(text)))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q in %q", fields[3], line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("non-integer value in %q: %v", line, err)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("malformed labels in %q", line)
+			}
+			name = name[:i]
+		}
+		for _, c := range name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				t.Fatalf("invalid metric name char %q in %q", c, line)
+			}
+		}
+		out[name] += 0 // presence even when value collides below
+		out[name] = v
+	}
+	return out
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, reg, _ := bootMon(t)
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	samples := parsePrometheus(t, body)
+
+	// Counter values match a registry snapshot taken now (the system is
+	// idle, so the values are stable).
+	snap := reg.Snapshot()
+	if len(snap.Counters) == 0 {
+		t.Fatal("no counters in registry after a query")
+	}
+	for name, want := range snap.Counters {
+		got, ok := samples[strings.NewReplacer(".", "_", "-", "_").Replace(name)]
+		if !ok {
+			t.Fatalf("counter %s missing from /metrics", name)
+		}
+		if got != want {
+			t.Fatalf("counter %s = %d on /metrics, registry has %d", name, got, want)
+		}
+	}
+	if samples["core_queries"] != 1 {
+		t.Fatalf("core_queries = %d, want 1", samples["core_queries"])
+	}
+	if samples["hal_engines_total"] == 0 {
+		t.Fatal("hal_engines_total missing or zero")
+	}
+
+	// JSON variant parses back into the identical snapshot.
+	_, jbody := get(t, "http://"+srv.Addr()+"/metrics?format=json")
+	parsed, err := telemetry.ParseSnapshot(jbody)
+	if err != nil {
+		t.Fatalf("/metrics?format=json did not parse: %v", err)
+	}
+	if parsed.Counter("core.queries") != 1 {
+		t.Fatalf("json snapshot core.queries = %d", parsed.Counter("core.queries"))
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv, _, _ := bootMon(t)
+	code, body := get(t, "http://"+srv.Addr()+"/health")
+	if code != http.StatusOK {
+		t.Fatalf("/health status = %d: %s", code, body)
+	}
+	var doc struct {
+		Status     string `json:"status"`
+		AFUPresent bool   `json:"afu_present"`
+		Engines    []struct {
+			Engine      int   `json:"engine"`
+			Quarantined bool  `json:"quarantined"`
+			Jobs        int64 `json:"jobs"`
+		} `json:"engines"`
+		Counters struct {
+			EnginesTotal   int64 `json:"engines_total"`
+			EnginesHealthy int64 `json:"engines_healthy"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/health is not JSON: %v\n%s", err, body)
+	}
+	if doc.Status != "ok" || !doc.AFUPresent {
+		t.Fatalf("healthy system reported %+v", doc)
+	}
+	if len(doc.Engines) == 0 {
+		t.Fatal("no engines in /health")
+	}
+	if doc.Counters.EnginesTotal != int64(len(doc.Engines)) {
+		t.Fatalf("counters.engines_total = %d for %d engines", doc.Counters.EnginesTotal, len(doc.Engines))
+	}
+	var jobs int64
+	for _, e := range doc.Engines {
+		jobs += e.Jobs
+	}
+	if jobs == 0 {
+		t.Fatal("no completed jobs visible in /health after a query")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	srv, _, rec := bootMon(t)
+	if rec.Len() == 0 {
+		t.Fatal("flight recorder empty after a query")
+	}
+	code, body := get(t, "http://"+srv.Addr()+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var doc struct {
+		Events []struct {
+			Type string   `json:"type"`
+			Sim  sim.Time `json:"sim_ps"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+	if len(doc.Events) != rec.Len() {
+		t.Fatalf("/trace has %d events, recorder %d", len(doc.Events), rec.Len())
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.Events {
+		kinds[e.Type] = true
+	}
+	for _, want := range []string{"job-submit", "job-exec", "pu-busy", "grant-burst"} {
+		if !kinds[want] {
+			t.Fatalf("/trace missing %s events; has %v", want, kinds)
+		}
+	}
+
+	// Perfetto variant is valid Chrome-trace JSON.
+	_, pbody := get(t, "http://"+srv.Addr()+"/trace?format=perfetto")
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(pbody, &trace); err != nil {
+		t.Fatalf("/trace?format=perfetto is not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("perfetto trace empty")
+	}
+
+	// Text variant mentions the retained count.
+	_, tbody := get(t, "http://"+srv.Addr()+"/trace?format=text")
+	if !strings.Contains(string(tbody), fmt.Sprintf("%d event(s) retained", rec.Len())) {
+		t.Fatalf("/trace?format=text header missing:\n%.200s", tbody)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv, _, _ := bootMon(t)
+	code, body := get(t, "http://"+srv.Addr()+"/debug/pprof/cmdline")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/debug/pprof/cmdline status = %d, %d bytes", code, len(body))
+	}
+}

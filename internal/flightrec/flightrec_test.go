@@ -1,0 +1,177 @@
+package flightrec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"doppiodb/internal/sim"
+)
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Type: EvJobSubmit, Engine: i, Unit: -1})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	w := r.Window()
+	for i, e := range w {
+		if e.Engine != 6+i {
+			t.Fatalf("window[%d].Engine = %d, want %d (most recent retained)", i, e.Engine, 6+i)
+		}
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("window[%d].Seq = %d, want %d", i, e.Seq, 6+i)
+		}
+	}
+}
+
+func TestSequenceMonotonicAcrossReset(t *testing.T) {
+	r := New(8)
+	r.Record(Event{})
+	r.Record(Event{})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+	r.Record(Event{})
+	w := r.Window()
+	if len(w) != 1 || w[0].Seq != 2 {
+		t.Fatalf("after reset: window = %+v, want single event with Seq 2", w)
+	}
+}
+
+func TestWallTimeStamped(t *testing.T) {
+	r := New(2)
+	r.Record(Event{})
+	if w := r.Window(); w[0].WallNS == 0 {
+		t.Fatal("Record did not stamp WallNS")
+	}
+	r.Record(Event{WallNS: 42})
+	if w := r.Window(); w[1].WallNS != 42 {
+		t.Fatalf("Record overwrote caller's WallNS: %d", w[1].WallNS)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{})
+	r.Reset()
+	r.SetSink(nil)
+	r.DumpOnDegrade("x")
+	if r.Window() != nil || r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Dumps() != 0 {
+		t.Fatal("nil recorder must read as empty")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Type: EvJobSubmit, Engine: -1, Unit: -1})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range r.Window() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate Seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDumpOnDegrade(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Type: EvWatchdog, Engine: 1, Unit: -1, Note: "stuck-done"})
+	r.Record(Event{Type: EvBreakerTrip, Engine: 1, Unit: -1})
+
+	// Without a sink the dump is counted but writes nowhere.
+	r.DumpOnDegrade("watchdog")
+	if r.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", r.Dumps())
+	}
+
+	var b strings.Builder
+	r.SetSink(&b)
+	r.DumpOnDegrade("hal: watchdog timeout")
+	out := b.String()
+	for _, want := range []string{"query degraded", "watchdog timeout", "breaker-trip", "stuck-done", "2 event(s) retained"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if r.Dumps() != 2 {
+		t.Fatalf("Dumps = %d, want 2", r.Dumps())
+	}
+}
+
+func TestMemObserverCoalescesGrants(t *testing.T) {
+	r := New(64)
+	o := NewMemObserver(r, 1000*sim.Microsecond)
+
+	// Three back-to-back grants, a link idle gap, then one more.
+	o.JobStart(0, 0, 0)
+	o.Grant(0, 16, 0, 100)
+	o.Grant(0, 16, 100, 200)
+	o.Grant(1, 16, 200, 300) // different engine, still contiguous: same burst
+	o.Grant(0, 16, 500, 600) // gap: new burst
+	o.JobDone(0, 0, 600)
+	o.Flush()
+
+	var bursts []Event
+	for _, e := range r.Window() {
+		if e.Type == EvGrantBurst {
+			bursts = append(bursts, e)
+		}
+	}
+	if len(bursts) != 2 {
+		t.Fatalf("got %d bursts, want 2 (coalesced + post-idle)", len(bursts))
+	}
+	if bursts[0].Arg != 48 || bursts[0].Dur != 300 {
+		t.Fatalf("first burst = %d lines over %v, want 48 lines over 300ps", bursts[0].Arg, bursts[0].Dur)
+	}
+	if bursts[0].Sim != 1000*sim.Microsecond {
+		t.Fatalf("burst not rebased onto continuous timeline: Sim = %v", bursts[0].Sim)
+	}
+	if bursts[0].Domain != DomainFabric {
+		t.Fatalf("burst domain = %v, want fabric", bursts[0].Domain)
+	}
+	if bursts[1].Arg != 16 {
+		t.Fatalf("second burst = %d lines, want 16", bursts[1].Arg)
+	}
+
+	start, end, ok := o.JobWindow(0, 0)
+	if !ok || start != 0 || end != 600 {
+		t.Fatalf("JobWindow = (%v, %v, %v), want (0, 600, true)", start, end, ok)
+	}
+}
+
+func TestTypeAndDomainNames(t *testing.T) {
+	if int(numTypes) != len(typeNames) {
+		t.Fatalf("typeNames has %d entries for %d types", len(typeNames), int(numTypes))
+	}
+	for ty := Type(0); ty < numTypes; ty++ {
+		if strings.HasPrefix(ty.String(), "type(") {
+			t.Fatalf("type %d has no name", ty)
+		}
+	}
+	if DomainFabric.Clock() != sim.FabricClock || DomainPU.Clock() != sim.PUClock {
+		t.Fatal("domain clock mapping wrong")
+	}
+}

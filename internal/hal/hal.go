@@ -34,6 +34,7 @@ import (
 
 	"doppiodb/internal/engine"
 	"doppiodb/internal/faults"
+	"doppiodb/internal/flightrec"
 	"doppiodb/internal/fpga"
 	"doppiodb/internal/memmodel"
 	"doppiodb/internal/shmem"
@@ -79,7 +80,12 @@ type Job struct {
 	penalty    sim.Time // watchdog/retry latency accrued before success
 	completed  sim.Time
 	drained    bool
+	seq        int64 // HAL-wide job sequence number (flight-recorder key)
 }
+
+// Seq returns the HAL-wide job sequence number the flight recorder keys
+// its job events by.
+func (j *Job) Seq() int64 { return j.seq }
 
 // Status reads the job's status block from shared memory and reports
 // whether the done bit is set. A corrupted or unmapped block returns an
@@ -127,8 +133,11 @@ type HAL struct {
 	params  memmodel.Params
 	tel     *telemetry.Registry
 	inj     *faults.Injector
+	rec     *flightrec.Recorder
 
 	mu        sync.Mutex
+	simEpoch  sim.Time // continuous simulated timeline across Drain batches
+	jobSeq    int64    // HAL-wide job sequence (flight-recorder key)
 	queues    [][]memmodel.Job
 	jobs      [][]*Job
 	queuedVol []int64 // per-engine running byte totals (the Distributor's index)
@@ -156,6 +165,7 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 		params: memmodel.Default(),
 		tel:    telemetry.Default(),
 		inj:    faults.Default(),
+		rec:    flightrec.Default(),
 	}
 	h.params.EngineBandwidth = dev.Deployment.EngineBandwidth()
 	for i := 0; i < dev.Deployment.Engines; i++ {
@@ -165,6 +175,8 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	h.jobs = make([][]*Job, len(h.engines))
 	h.queuedVol = make([]int64, len(h.engines))
 	h.health = make([]engineHealth, len(h.engines))
+	h.tel.Gauge("hal.engines.total").Set(int64(len(h.engines)))
+	h.tel.Gauge("hal.engines.healthy").Set(int64(len(h.engines)))
 
 	var err error
 	if h.dsmAddr, err = region.Alloc(shmem.MinSlab); err != nil {
@@ -188,16 +200,36 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	return h, nil
 }
 
-// SetTelemetry rebinds the HAL and its engine frontends to reg.
+// SetTelemetry rebinds the HAL and its engine frontends to reg and
+// re-asserts the engine-health gauges there.
 func (h *HAL) SetTelemetry(reg *telemetry.Registry) {
 	h.tel = reg
 	for _, e := range h.engines {
 		e.SetTelemetry(reg)
 	}
+	h.mu.Lock()
+	healthy := h.healthyLocked()
+	h.mu.Unlock()
+	reg.Gauge("hal.engines.total").Set(int64(len(h.engines)))
+	reg.Gauge("hal.engines.healthy").Set(healthy)
 }
 
 // SetInjector rebinds fault injection. nil disables it.
 func (h *HAL) SetInjector(in *faults.Injector) { h.inj = in }
+
+// SetRecorder rebinds the flight recorder. nil disables recording.
+func (h *HAL) SetRecorder(r *flightrec.Recorder) { h.rec = r }
+
+// Recorder returns the HAL's flight recorder.
+func (h *HAL) Recorder() *flightrec.Recorder { return h.rec }
+
+// SimEpoch returns the start of the next Drain batch on the recorder's
+// continuous simulated timeline.
+func (h *HAL) SimEpoch() sim.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.simEpoch
+}
 
 // Device returns the programmed device.
 func (h *HAL) Device() *fpga.Device { return h.dev }
@@ -297,6 +329,7 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 	// Engine drop-out fires at the job-accept handshake, before any work.
 	if !h.inj.EngineAccepts(e) {
 		h.tel.Counter("hal.faults.engine_drop").Inc()
+		h.recordCtl(flightrec.EvFault, e, 0, "engine-drop")
 		return nil, fmt.Errorf("hal: engine %d: %w", e, ErrEngineDropped)
 	}
 
@@ -331,6 +364,7 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 	}
 	if crc32.ChecksumIEEE(cfg) != cfgSum {
 		h.tel.Counter("hal.faults.config_corrupt").Inc()
+		h.recordCtl(flightrec.EvFault, e, 0, "config-corrupt")
 		return fail(fmt.Errorf("hal: engine %d: %w", e, ErrConfigCorrupt))
 	}
 	st, err := h.engines[e].Execute(p)
@@ -370,10 +404,12 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 	done, serr := j.Status()
 	if serr != nil {
 		h.tel.Counter("hal.faults.status_corrupt").Inc()
+		h.recordCtl(flightrec.EvFault, e, 0, "status-corrupt")
 		return fail(fmt.Errorf("hal: engine %d: %w", e, serr))
 	}
 	if !done {
 		h.tel.Counter("hal.faults.stuck_done").Inc()
+		h.recordCtl(flightrec.EvWatchdog, e, 0, "stuck-done")
 		return fail(fmt.Errorf("hal: engine %d: %w", e, ErrDoneTimeout))
 	}
 
@@ -387,6 +423,8 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 		h.queueLen--
 		return nil, err
 	}
+	h.jobSeq++
+	j.seq = h.jobSeq
 	slot := q[h.slotNext*blockSize:]
 	binary.LittleEndian.PutUint64(slot[0:], uint64(statusAddr)+uint64(off))
 	binary.LittleEndian.PutUint32(slot[8:], uint32(e))
@@ -404,7 +442,31 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 	h.tel.Counter("hal.dsm.matches").Add(int64(binary.LittleEndian.Uint32(blk[8:])))
 	h.tel.Counter("hal.dsm.heap_bytes").Add(int64(binary.LittleEndian.Uint64(blk[12:])))
 	h.tel.Gauge("hal.queue_depth").Set(int64(h.queueLen))
+	h.rec.Record(flightrec.Event{
+		Type:   flightrec.EvJobSubmit,
+		Sim:    h.simEpoch,
+		Engine: e,
+		Unit:   -1,
+		Job:    j.seq,
+		Arg:    int64(j.Timing.TotalBytes()),
+	})
 	return j, nil
+}
+
+// recordCtl records a control-plane instant stamped at the current batch
+// epoch. Must be called without h.mu held.
+func (h *HAL) recordCtl(t flightrec.Type, e int, job int64, note string) {
+	if h.rec == nil {
+		return
+	}
+	h.rec.Record(flightrec.Event{
+		Type:   t,
+		Sim:    h.SimEpoch(),
+		Engine: e,
+		Unit:   -1,
+		Job:    job,
+		Note:   note,
+	})
 }
 
 // pickEngineLocked picks the admitted engine with the smallest queued
@@ -470,13 +532,32 @@ func (h *HAL) Drain() memmodel.Result {
 		params.QPIBandwidth *= f
 		h.tel.Counter("hal.faults.qpi_degraded").Inc()
 	}
+	// The flight recorder observes the simulation: grant bursts and phase
+	// switches stream out as the arbiter issues them, job windows are
+	// collected for the per-engine and per-PU tracks below.
+	var obs *flightrec.MemObserver
+	if h.rec != nil {
+		obs = flightrec.NewMemObserver(h.rec, h.simEpoch)
+		params.Trace = obs
+	}
 	res := memmodel.Simulate(params, h.queues)
+	if obs != nil {
+		obs.Flush()
+	}
 	for e := range h.jobs {
 		for k, j := range h.jobs[e] {
 			j.completed = res.Done[e][k] + ParametrizeTime + j.penalty
 			j.drained = true
 			h.scrubStatusLocked(j)
+			if obs != nil {
+				h.recordJobTimelineLocked(obs, e, k, j)
+			}
 		}
+	}
+	if res.Finish > 0 {
+		// Advance the continuous timeline so the next batch renders after
+		// this one (the gap marks the batch boundary in the trace).
+		h.simEpoch += res.Finish + ParametrizeTime + drainGap
 	}
 	h.queues = make([][]memmodel.Job, len(h.engines))
 	h.jobs = make([][]*Job, len(h.engines))
@@ -501,6 +582,67 @@ func (h *HAL) Drain() memmodel.Result {
 	}
 	h.tel.Gauge("hal.queue_depth").Set(0)
 	return res
+}
+
+// drainGap separates successive Drain batches on the recorder's continuous
+// simulated timeline so their tracks never overlap.
+const drainGap = 1 * sim.Microsecond
+
+// recordJobTimelineLocked emits the per-engine and per-PU timeline of one
+// drained job: the parametrization window, the execution window, and one
+// busy window per Processing Unit. The PU share is the hardware model's:
+// all deployed PUs of the engine carry the same configuration and the
+// round-robin dispatch stripes the input evenly across them, each consuming
+// one input byte per 400 MHz cycle. Caller holds h.mu.
+func (h *HAL) recordJobTimelineLocked(obs *flightrec.MemObserver, e, k int, j *Job) {
+	start, end, ok := obs.JobWindow(e, k)
+	if !ok {
+		start, end = 0, j.completed-j.penalty
+	}
+	base := h.simEpoch
+	h.rec.Record(flightrec.Event{
+		Type:   flightrec.EvEngineConfig,
+		Sim:    base + start,
+		Dur:    ParametrizeTime,
+		Domain: flightrec.DomainFabric,
+		Cycles: sim.FabricClock.CyclesFor(ParametrizeTime),
+		Engine: e,
+		Unit:   -1,
+		Job:    j.seq,
+	})
+	h.rec.Record(flightrec.Event{
+		Type:   flightrec.EvJobExec,
+		Sim:    base + start,
+		Dur:    end - start + ParametrizeTime,
+		Engine: e,
+		Unit:   -1,
+		Job:    j.seq,
+		Arg:    int64(j.Timing.TotalBytes()),
+	})
+	pus := h.dev.Deployment.PUsPerEngine
+	if pus <= 0 || j.Stats.PUCycles == 0 {
+		return
+	}
+	share := int64(j.Stats.PUCycles) / int64(pus)
+	rem := int64(j.Stats.PUCycles) % int64(pus)
+	for u := 0; u < pus; u++ {
+		c := share
+		if int64(u) < rem {
+			c++
+		}
+		if c == 0 {
+			continue
+		}
+		h.rec.Record(flightrec.Event{
+			Type:   flightrec.EvPUBusy,
+			Sim:    base + start + ParametrizeTime,
+			Domain: flightrec.DomainPU,
+			Cycles: c,
+			Engine: e,
+			Unit:   u,
+			Job:    j.seq,
+		})
+	}
 }
 
 // scrubStatusLocked re-verifies a drained job's status block and rewrites

@@ -11,10 +11,14 @@ package hal
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
+	"strings"
 
 	"doppiodb/internal/faults"
+	"doppiodb/internal/flightrec"
 	"doppiodb/internal/sim"
+	"doppiodb/internal/telemetry"
 )
 
 // Fault-recovery tuning.
@@ -132,6 +136,14 @@ func (h *HAL) noteFailure(e int) {
 		hs.quarantined = true
 		h.tel.Counter("hal.engine.quarantined").Inc()
 		h.tel.Gauge("hal.engines.healthy").Set(h.healthyLocked())
+		h.tel.Gauge(fmt.Sprintf("hal.engine.%d.quarantined", e)).Set(1)
+		h.rec.Record(flightrec.Event{
+			Type:   flightrec.EvBreakerTrip,
+			Sim:    h.simEpoch,
+			Engine: e,
+			Unit:   -1,
+			Arg:    int64(hs.consecFails),
+		})
 	}
 }
 
@@ -178,6 +190,13 @@ func (h *HAL) tryReadmit(e int) bool {
 	hs.readmissions++
 	h.tel.Counter("hal.engine.readmitted").Inc()
 	h.tel.Gauge("hal.engines.healthy").Set(h.healthyLocked())
+	h.tel.Gauge(fmt.Sprintf("hal.engine.%d.quarantined", e)).Set(0)
+	h.rec.Record(flightrec.Event{
+		Type:   flightrec.EvReadmit,
+		Sim:    h.simEpoch,
+		Engine: e,
+		Unit:   -1,
+	})
 	return true
 }
 
@@ -216,8 +235,52 @@ func (h *HAL) checkHandshake() {
 	}
 	if !h.AFUPresent() {
 		h.tel.Counter("hal.faults.handshake_loss").Inc()
+		h.recordCtl(flightrec.EvFault, -1, 0, "handshake-loss")
 		h.rehandshake()
 	}
+}
+
+// HealthCounters is the engine-health view of a telemetry snapshot — what
+// doppiobench folds into its -json / -metrics-out documents so a run's
+// degradations are visible without a live System. Gauges reflect the most
+// recently booted system; counters accumulate across every system of the
+// process.
+type HealthCounters struct {
+	// EnginesTotal / EnginesHealthy mirror the hal.engines.* gauges.
+	EnginesTotal   int64 `json:"engines_total"`
+	EnginesHealthy int64 `json:"engines_healthy"`
+	// DegradedQueries counts queries answered by the software fallback
+	// (core.fallback.software).
+	DegradedQueries int64 `json:"degraded_queries"`
+	// Recovery-path counters.
+	Retries        int64 `json:"retries"`
+	Rehandshakes   int64 `json:"rehandshakes"`
+	StatusScrubbed int64 `json:"status_scrubbed"`
+	Quarantines    int64 `json:"quarantines"`
+	Readmissions   int64 `json:"readmissions"`
+	// Faults maps each hal.faults.* detection counter to its count.
+	Faults map[string]int64 `json:"faults"`
+}
+
+// SummaryFromMetrics derives the health view from a telemetry snapshot.
+func SummaryFromMetrics(s telemetry.Snapshot) HealthCounters {
+	hc := HealthCounters{
+		EnginesTotal:    s.Gauge("hal.engines.total"),
+		EnginesHealthy:  s.Gauge("hal.engines.healthy"),
+		DegradedQueries: s.Counter("core.fallback.software"),
+		Retries:         s.Counter("hal.retries"),
+		Rehandshakes:    s.Counter("hal.rehandshakes"),
+		StatusScrubbed:  s.Counter("hal.status_scrubbed"),
+		Quarantines:     s.Counter("hal.engine.quarantined"),
+		Readmissions:    s.Counter("hal.engine.readmitted"),
+		Faults:          make(map[string]int64),
+	}
+	for name, v := range s.Counters {
+		if rest, ok := strings.CutPrefix(name, "hal.faults."); ok {
+			hc.Faults[rest] = v
+		}
+	}
+	return hc
 }
 
 // Status-block checksum layout: the engine writes done bit + statistics in

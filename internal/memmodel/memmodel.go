@@ -43,6 +43,26 @@ type Params struct {
 	// prototype's memory latency and QPI-endpoint inefficiencies and is
 	// calibrated so a lone engine lands at the measured 5.89 GB/s.
 	SwitchLatency sim.Time
+	// Trace, when non-nil, receives timeline callbacks from Simulate
+	// (grant service windows, phase switches, job start/completion). The
+	// flight recorder's MemObserver satisfies it; nil costs nothing.
+	Trace Observer
+}
+
+// Observer receives the simulated timeline as Simulate advances it. Times
+// are batch-local (relative to the Simulate call's zero). Callbacks arrive
+// single-threaded in simulation order.
+type Observer interface {
+	// JobStart fires when the arbiter first considers engine's job-th job.
+	JobStart(engine, job int, at sim.Time)
+	// JobDone fires when engine's job-th job completes.
+	JobDone(engine, job int, at sim.Time)
+	// Grant reports one arbiter grant of lines cache lines to engine,
+	// serviced over [start, end).
+	Grant(engine int, lines int64, start, end sim.Time)
+	// PhaseSwitch reports an offset↔heap turn of engine's String Reader
+	// charging the switch stall.
+	PhaseSwitch(engine int, at sim.Time)
 }
 
 // Default returns the prototype's parameters.
@@ -94,6 +114,7 @@ type engineState struct {
 	phIdx   int
 	readyAt sim.Time
 	done    []sim.Time
+	started bool // current job reported to the observer
 }
 
 // buildPhases expands a job into its offset/heap burst sequence. Each
@@ -208,11 +229,20 @@ func Simulate(p Params, queues [][]Job) Result {
 			continue
 		}
 		// Grant up to GrantLines from the engine's current phase.
+		if !pick.started {
+			pick.started = true
+			if p.Trace != nil {
+				p.Trace.JobStart(pickIdx, pick.jobIdx, now)
+			}
+		}
 		ph := &pick.phases[pick.phIdx]
 		g := min64(ph.lines, int64(p.GrantLines))
 		if g > 0 {
 			service := qpiLine * sim.Time(g)
 			consume := engLine * sim.Time(g)
+			if p.Trace != nil {
+				p.Trace.Grant(pickIdx, g, now, now+service)
+			}
 			now += service
 			busy += service
 			moved += g * int64(p.LineBytes)
@@ -223,7 +253,7 @@ func Simulate(p Params, queues [][]Job) Result {
 			pick.readyAt = now + (consume - service)
 		}
 		if ph.lines == 0 {
-			pick.advancePhase(p, now, &res)
+			pick.advancePhase(p, pickIdx, now, &res)
 		}
 		rr = (pickIdx + 1) % len(engines)
 	}
@@ -243,9 +273,9 @@ func (es *engineState) loadJob(p Params) {
 	}
 }
 
-// advancePhase moves the engine to its next burst, charging the switch
+// advancePhase moves engine e to its next burst, charging the switch
 // stall; at the end of the job it records completion and loads the next.
-func (es *engineState) advancePhase(p Params, now sim.Time, res *Result) {
+func (es *engineState) advancePhase(p Params, e int, now sim.Time, res *Result) {
 	es.phIdx++
 	if es.phIdx < len(es.phases) {
 		if es.readyAt < now {
@@ -253,17 +283,27 @@ func (es *engineState) advancePhase(p Params, now sim.Time, res *Result) {
 		}
 		es.readyAt += p.SwitchLatency
 		res.Switches++
+		if p.Trace != nil {
+			p.Trace.PhaseSwitch(e, now)
+		}
 		return
+	}
+	if p.Trace != nil {
+		p.Trace.JobDone(e, es.jobIdx, now)
 	}
 	es.done = append(es.done, now)
 	es.jobIdx++
 	es.loadJob(p)
+	es.started = false
 	if es.jobIdx < len(es.jobs) {
 		if es.readyAt < now {
 			es.readyAt = now
 		}
 		es.readyAt += p.SwitchLatency
 		res.Switches++
+		if p.Trace != nil {
+			p.Trace.PhaseSwitch(e, now)
+		}
 	}
 }
 

@@ -80,31 +80,88 @@ func ParseSnapshot(data []byte) (Snapshot, error) {
 	return s, nil
 }
 
-// WriteText writes the snapshot in expvar-style text: one sorted
-// `name value` line per counter and gauge; histograms flatten to
-// `name.le.<bound>`, `name.le.inf`, `name.count` and `name.sum` lines.
+// sortedKeys returns the keys of a metric map in lexicographic order — the
+// single ordering every text exporter uses, so repeated exports of the same
+// state are byte-identical.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText writes the snapshot in expvar-style text: one `name value` line
+// per counter and gauge; histograms flatten to `name.le.<bound>`,
+// `name.le.inf`, `name.count` and `name.sum` lines. Metrics are ordered by
+// name and histogram buckets by bound, so the output is deterministic.
 func (r *Registry) WriteText(w io.Writer) {
 	snap := r.Snapshot()
-	lines := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
-	for k, v := range snap.Counters {
-		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	for _, k := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(w, "%s %d\n", k, snap.Counters[k])
 	}
-	for k, v := range snap.Gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	for _, k := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(w, "%s %d\n", k, snap.Gauges[k])
 	}
-	for k, h := range snap.Histograms {
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
 		for i, b := range h.Bounds {
-			lines = append(lines, fmt.Sprintf("%s.le.%d %d", k, b, h.Counts[i]))
+			fmt.Fprintf(w, "%s.le.%d %d\n", k, b, h.Counts[i])
 		}
 		if n := len(h.Bounds); n < len(h.Counts) {
-			lines = append(lines, fmt.Sprintf("%s.le.inf %d", k, h.Counts[n]))
+			fmt.Fprintf(w, "%s.le.inf %d\n", k, h.Counts[n])
 		}
-		lines = append(lines, fmt.Sprintf("%s.count %d", k, h.Count))
-		lines = append(lines, fmt.Sprintf("%s.sum %d", k, h.Sum))
+		fmt.Fprintf(w, "%s.count %d\n", k, h.Count)
+		fmt.Fprintf(w, "%s.sum %d\n", k, h.Sum)
 	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Fprintln(w, l)
+}
+
+// promName sanitizes a metric name for the Prometheus exposition format:
+// dots (the registry's namespace separator) become underscores, anything
+// else outside [a-zA-Z0-9_] does too.
+func promName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` comments, sanitized metric names, and
+// cumulative histogram buckets with the canonical le="+Inf" terminator.
+// Output order is deterministic (names sorted, buckets by bound).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot()
+	for _, k := range sortedKeys(snap.Counters) {
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[k])
+	}
+	for _, k := range sortedKeys(snap.Gauges) {
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[k])
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
 	}
 }
 

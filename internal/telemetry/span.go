@@ -118,6 +118,24 @@ func (s *Span) Attr(name string) (int64, bool) {
 	return v, ok
 }
 
+// Attrs returns a copy of the span's attributes (nil when none) — the
+// exporter-facing view; SetAttr/Attr remain the per-key accessors.
+func (s *Span) Attrs() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.attrs))
+	for k, v := range s.attrs {
+		out[k] = v
+	}
+	return out
+}
+
 // Wall returns the wall-clock duration (zero until End).
 func (s *Span) Wall() time.Duration {
 	if s == nil {

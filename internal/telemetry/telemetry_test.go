@@ -119,20 +119,56 @@ func TestWriteText(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("b.counter").Add(2)
 	reg.Gauge("a.gauge").Set(1)
-	reg.Histogram("h", 10).Observe(3)
+	// Two-digit and single-digit bounds: numeric bucket order must win over
+	// the lexicographic order a naive line sort would produce (le.10 < le.2).
+	reg.Histogram("h", 10, 2).Observe(3)
 	var buf bytes.Buffer
 	reg.WriteText(&buf)
 	got := buf.String()
 	want := strings.Join([]string{
-		"a.gauge 1",
 		"b.counter 2",
-		"h.count 1",
+		"a.gauge 1",
+		"h.le.2 0",
 		"h.le.10 1",
 		"h.le.inf 0",
+		"h.count 1",
 		"h.sum 3",
 	}, "\n") + "\n"
 	if got != want {
 		t.Errorf("text export:\n got %q\nwant %q", got, want)
+	}
+	// Determinism: a second export of the same state is byte-identical.
+	var again bytes.Buffer
+	reg.WriteText(&again)
+	if again.String() != got {
+		t.Errorf("text export not deterministic:\n1st %q\n2nd %q", got, again.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.queries").Add(4)
+	reg.Gauge("hal.engines.healthy").Set(3)
+	h := reg.Histogram("scan.ns", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	want := strings.Join([]string{
+		"# TYPE core_queries counter",
+		"core_queries 4",
+		"# TYPE hal_engines_healthy gauge",
+		"hal_engines_healthy 3",
+		"# TYPE scan_ns histogram",
+		`scan_ns_bucket{le="10"} 1`,
+		`scan_ns_bucket{le="100"} 2`,
+		`scan_ns_bucket{le="+Inf"} 3`,
+		"scan_ns_sum 5055",
+		"scan_ns_count 3",
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus export:\n got %q\nwant %q", got, want)
 	}
 }
 
