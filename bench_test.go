@@ -5,6 +5,7 @@
 package doppiodb_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -173,7 +174,7 @@ func BenchmarkHUDF(b *testing.B) {
 	b.SetBytes(int64(50_000 * 64))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Exec(col.Strs, workload.Q2, token.Options{}); err != nil {
+		if _, err := sys.Exec(context.Background(), col.Strs, workload.Q2, token.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	doppiobench [-experiment all|table1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15]
+//	doppiobench [-experiment all|table1|fig8|...|fig15|throughput]
 //	            [-sample N] [-seed S] [-selectivity F]
+//	            [-clients N] [-measured-rows N]
 //	            [-json] [-metrics-out FILE.json] [-trace-out FILE.json]
 //	            [-mon ADDR] [-faults SPEC]
 //
 // -sample sets how many rows the functional engines execute per
 // measurement (work is extrapolated to the paper's row counts); larger
-// samples tighten the work estimates at the cost of runtime. -json replaces
+// samples tighten the work estimates at the cost of runtime. -clients and
+// -measured-rows size the measured concurrent-throughput runs (Figures 8
+// and 11 and the dedicated `throughput` sweep): N client goroutines issue
+// live queries through the asynchronous device runtime and the achieved
+// rate is read off the simulated device timeline. -json replaces
 // the text tables with one machine-readable JSON document holding every
 // experiment result plus the final telemetry snapshot; -metrics-out
 // additionally writes the telemetry registry (counters, gauges, histograms
@@ -61,6 +66,8 @@ func main() {
 		sampl    = flag.Int("sample", experiments.DefaultSampleRows, "functional sample rows")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		sel      = flag.Float64("selectivity", experiments.DefaultSelectivity, "hit selectivity")
+		clients  = flag.Int("clients", experiments.DefaultClients, "concurrent client goroutines for the measured throughput runs")
+		mrows    = flag.Int("measured-rows", experiments.DefaultMeasuredRows, "per-query rows of the measured throughput runs")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		metOut   = flag.String("metrics-out", "", "write the telemetry snapshot to this JSON file")
 		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline as Chrome-trace JSON to this file")
@@ -68,7 +75,8 @@ func main() {
 		fspec    = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
 	)
 	flag.Parse()
-	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel}
+	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel,
+		Clients: *clients, MeasuredRows: *mrows}
 	jsonMode = *jsonOut
 	if *fspec != "" {
 		in, err := faults.NewFromSpec(*fspec)
@@ -130,6 +138,7 @@ func main() {
 			return err
 		}},
 		{"fig15", func() error { r, err := experiments.Figure15(cfg); render(r, err, out); return err }},
+		{"throughput", func() error { r, err := experiments.Throughput(cfg); render(r, err, out); return err }},
 		{"platform", func() error { r, err := experiments.Platform(cfg); render(r, err, out); return err }},
 		{"nextgen", func() error { r, err := experiments.NextGen(cfg); render(r, err, out); return err }},
 		{"ablations", func() error {

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,7 +83,7 @@ func main() {
 	col, err := tbl.Column("address_string")
 	fatal(err)
 
-	res, err := s.Exec(col.Strs, *pattern, token.Options{FoldCase: *fold})
+	res, err := s.Exec(context.Background(), col.Strs, *pattern, token.Options{FoldCase: *fold})
 	fatal(err)
 
 	if !*quiet {

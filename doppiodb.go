@@ -1,6 +1,8 @@
 package doppiodb
 
 import (
+	"context"
+
 	"doppiodb/internal/config"
 	"doppiodb/internal/core"
 	"doppiodb/internal/fpga"
@@ -83,7 +85,56 @@ type Result struct {
 // REGEXP_FPGA, joins (inner and left outer), GROUP BY with
 // COUNT/SUM/MIN/MAX/AVG, HAVING, ORDER BY, LIMIT, and derived tables.
 func (db *DB) Query(statement string) (*Result, error) {
-	res, err := db.engine.Query(statement)
+	return db.QueryContext(context.Background(), statement)
+}
+
+// QueryContext executes one SELECT statement under ctx. Canceling ctx
+// aborts the query's FPGA jobs while they are still waiting for admission
+// (granted jobs run their arbitration round to completion) and stops the
+// software fallback between row chunks.
+func (db *DB) QueryContext(ctx context.Context, statement string) (*Result, error) {
+	res, err := db.engine.QueryContext(ctx, statement)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: res.Cols, Rows: res.Rows}
+	if res.UDF != nil {
+		out.Offloaded = true
+		out.HWSeconds = res.UDF.HWSeconds
+	}
+	return out, nil
+}
+
+// Close shuts down the device runtime. Queued-but-not-granted jobs are
+// canceled; in-flight rounds complete. Queries issued after Close fail.
+func (db *DB) Close() { db.sys.Close() }
+
+// Session is an independent SQL execution context over a shared DB. Each
+// session holds its own parser/planner state while all sessions share the
+// column store and the one simulated FPGA, whose device runtime arbitrates
+// their jobs round-robin — this is how the paper's multi-client throughput
+// experiments (Figs. 8 and 11) are driven. Sessions are cheap; create one
+// per client goroutine. A Session must not be used concurrently from
+// multiple goroutines, but any number of Sessions may run concurrently.
+type Session struct {
+	engine *sql.Engine
+}
+
+// NewSession returns a new independent session on the database.
+func (db *DB) NewSession() *Session {
+	engine := sql.NewEngine(db.sys.DB)
+	engine.Advisor = db.engine.Advisor
+	return &Session{engine: engine}
+}
+
+// Query executes one SELECT on this session.
+func (s *Session) Query(statement string) (*Result, error) {
+	return s.QueryContext(context.Background(), statement)
+}
+
+// QueryContext executes one SELECT on this session under ctx.
+func (s *Session) QueryContext(ctx context.Context, statement string) (*Result, error) {
+	res, err := s.engine.QueryContext(ctx, statement)
 	if err != nil {
 		return nil, err
 	}

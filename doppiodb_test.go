@@ -1,6 +1,8 @@
 package doppiodb_test
 
 import (
+	"context"
+	"sync"
 	"testing"
 
 	"doppiodb"
@@ -30,6 +32,46 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if db.Device() == "" {
 		t.Error("empty device description")
 	}
+}
+
+func TestPublicAPIConcurrentSessions(t *testing.T) {
+	db, err := doppiodb.Open(doppiodb.Options{SharedMemoryBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rows, hits := workload.NewGenerator(3, 64).Table(10_000, workload.HitQ2, 0.2)
+	if err := db.LoadStringTable("address_table", rows); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT count(*) FROM address_table
+		WHERE REGEXP_FPGA('(Strasse|Str\.).*(8[0-9]{4})', address_string) <> 0`
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			for i := 0; i < 4; i++ {
+				res, err := sess.QueryContext(context.Background(), q)
+				if err != nil {
+					t.Errorf("session %d query %d: %v", c, i, err)
+					return
+				}
+				if int(res.Rows[0][0].(int64)) != hits {
+					t.Errorf("session %d query %d: count = %v, want %d",
+						c, i, res.Rows[0][0], hits)
+					return
+				}
+				if !res.Offloaded || res.HWSeconds <= 0 {
+					t.Errorf("session %d query %d: offload accounting missing: %+v",
+						c, i, res)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
 }
 
 func TestPublicAPICreateInsertQuery(t *testing.T) {

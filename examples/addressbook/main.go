@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 		sys.DB.Mode = mdb.SequentialPipe
 
 		// Hardware.
-		res, err := sys.Exec(col.Strs, q.pattern, token.Options{})
+		res, err := sys.Exec(context.Background(), col.Strs, q.pattern, token.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

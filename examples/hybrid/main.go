@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 			log.Fatal(err)
 		}
 		col, _ := tbl.Column("address_string")
-		res, err := sys.Exec(col.Strs, workload.QH, token.Options{})
+		res, err := sys.Exec(context.Background(), col.Strs, workload.QH, token.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -66,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sys.Exec(col.Strs, p.re, token.Options{})
+		res, err := sys.Exec(context.Background(), col.Strs, p.re, token.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

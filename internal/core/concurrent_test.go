@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestFourConcurrentHUDFs(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := s.Exec(inputs[i].col, inputs[i].pat, token.Options{})
+			res, err := s.Exec(context.Background(), inputs[i].col, inputs[i].pat, token.Options{})
 			if err != nil {
 				errs[i] = err
 				return

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"doppiodb/internal/bat"
@@ -44,6 +45,7 @@ const (
 	PhaseUDF       = "UDF (software part)"
 	PhaseConfigGen = "Config. Gen."
 	PhaseHAL       = "HAL"
+	PhaseQueue     = "Queue wait"
 	PhaseHardware  = "Hardware Processing"
 	PhaseSoftware  = "Hybrid post-processing"
 )
@@ -132,11 +134,16 @@ func NewSystem(opts Options) (*System, error) {
 	// dataflow parallelism of the default pipeline only adds overhead
 	// around the offloaded operator.
 	s.DB.Mode = mdb.SequentialPipe
-	s.DB.RegisterUDF(UDFName, func(col *bat.Strings, pattern string) (*mdb.UDFResult, error) {
-		return s.RegexpFPGA(col, pattern)
+	s.DB.RegisterUDF(UDFName, func(ctx context.Context, col *bat.Strings, pattern string) (*mdb.UDFResult, error) {
+		return s.RegexpFPGA(ctx, col, pattern)
 	})
 	return s, nil
 }
+
+// Close shuts the system's device runtime down: backlogged jobs are
+// canceled and the event-loop goroutine exits. Queries after Close fail
+// with hal.ErrClosed.
+func (s *System) Close() { s.HAL.Close() }
 
 // Result is the HUDF's outcome with full accounting.
 type Result struct {
@@ -154,6 +161,10 @@ type Result struct {
 	// DegradedCause names the fault.
 	Degraded      bool
 	DegradedCause string
+	// HW is the query's own hardware accounting, summed from the per-job
+	// completion records of the device runtime — never another query's
+	// traffic, even when rounds are shared.
+	HW HWStats
 	// Work is the software work performed (hybrid post-processing).
 	Work perf.Work
 	// Times per phase (simulated).
@@ -167,6 +178,23 @@ type Result struct {
 // Total returns the simulated response time.
 func (r *Result) Total() sim.Time { return r.Breakdown.Total() }
 
+// HWStats is a query's per-job hardware accounting (zero when the query
+// never reached the device).
+type HWStats struct {
+	// Time is the slowest partition's admission→completion span.
+	Time sim.Time
+	// QueueWait is the time the query's jobs waited in the runtime's
+	// backlog before their round started.
+	QueueWait sim.Time
+	// Bytes, Grants and Switches are the QPI traffic attributed to this
+	// query's jobs alone.
+	Bytes    int64
+	Grants   int64
+	Switches int64
+	// LinkBusy is the link service time of this query's grants.
+	LinkBusy sim.Time
+}
+
 // hybridRowDispatch is the per-tuple cost of handing a pre-selected row to
 // the post-processor (result-BAT probe + string fetch).
 const hybridRowDispatch = 150 * sim.Nanosecond
@@ -177,8 +205,8 @@ var ErrCannotSplit = errors.New("core: expression exceeds device capacity and ha
 
 // RegexpFPGA is the HUDF: it evaluates the regular expression over the
 // whole column on the FPGA, following steps 2-9 of Figure 3.
-func (s *System) RegexpFPGA(col *bat.Strings, pattern string) (*mdb.UDFResult, error) {
-	res, err := s.Exec(col, pattern, token.Options{})
+func (s *System) RegexpFPGA(ctx context.Context, col *bat.Strings, pattern string) (*mdb.UDFResult, error) {
+	res, err := s.Exec(ctx, col, pattern, token.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +226,13 @@ func (s *System) RegexpFPGA(col *bat.Strings, pattern string) (*mdb.UDFResult, e
 
 // Exec runs the hardware operator with explicit compile options (the ILIKE
 // path passes FoldCase; collation costs nothing on the FPGA, §6.4).
-func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Result, error) {
+// Cancelling ctx aborts the query: jobs still in the runtime's backlog are
+// released (their status blocks freed); a round already granted completes
+// on the device but the call returns the context's error.
+func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opts token.Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	root := telemetry.StartSpan("regexp_fpga")
 	root.SetAttr("rows", int64(col.Count()))
 	s.Tel.Counter("core.queries").Inc()
@@ -210,7 +244,7 @@ func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Re
 	lim := s.Device.Deployment.Limits
 	var res *Result
 	if config.Fits(prog, lim) == nil {
-		res, err = s.execDirect(col, prog, pattern, root)
+		res, err = s.execDirect(ctx, col, prog, pattern, root)
 	} else {
 		split := root.StartChild("plan-split")
 		hwPat, swPat, sErr := SplitPattern(pattern, lim, opts)
@@ -219,14 +253,14 @@ func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Re
 			return nil, sErr
 		}
 		s.Tel.Counter("core.hybrid_queries").Inc()
-		res, err = s.execHybrid(col, hwPat, swPat, opts, root)
+		res, err = s.execHybrid(ctx, col, hwPat, swPat, opts, root)
 	}
 	if err != nil && hal.IsFault(err) {
-		// The hardware path is wedged beyond the HAL's retries: flush any
-		// partially submitted batch and degrade to the software operator.
-		// The flight recorder marks the degradation and dumps its window —
-		// the black-box forensics of what the hardware did leading up to it.
-		s.HAL.Drain()
+		// The hardware path is wedged beyond the HAL's retries (the
+		// partially submitted jobs were already discarded): degrade to the
+		// software operator. The flight recorder marks the degradation and
+		// dumps its window — the black-box forensics of what the hardware
+		// did leading up to it.
 		s.Tel.Counter("core.fallback.software").Inc()
 		s.Rec.Record(flightrec.Event{
 			Type:   flightrec.EvDegrade,
@@ -236,7 +270,7 @@ func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Re
 			Note:   err.Error(),
 		})
 		s.Rec.DumpOnDegrade(err.Error())
-		res, err = s.execSoftware(col, pattern, opts, root, err)
+		res, err = s.execSoftware(ctx, col, pattern, opts, root, err)
 	}
 	if err != nil {
 		return nil, err
@@ -252,18 +286,19 @@ func (s *System) Exec(col *bat.Strings, pattern string, opts token.Options) (*Re
 
 // ExecLike offloads a LIKE/ILIKE pattern by translating it to the regex
 // dialect (Q1's path in the evaluation).
-func (s *System) ExecLike(col *bat.Strings, like string, foldCase bool) (*Result, error) {
+func (s *System) ExecLike(ctx context.Context, col *bat.Strings, like string, foldCase bool) (*Result, error) {
 	lp, err := strmatch.CompileLike(like, foldCase)
 	if err != nil {
 		return nil, err
 	}
-	return s.Exec(col, lp.ToRegex(), token.Options{FoldCase: foldCase})
+	return s.Exec(ctx, col, lp.ToRegex(), token.Options{FoldCase: foldCase})
 }
 
 // execDirect runs a fully offloaded query, partitioned across all engines
 // (the FPGA parallelizes a single query by horizontally partitioning the
-// input, §7.5).
-func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern string, parent *telemetry.Span) (*Result, error) {
+// input, §7.5): submit the partitions, dispatch them to the device runtime
+// as one group, and await the per-job completion records.
+func (s *System) execDirect(ctx context.Context, col *bat.Strings, prog *token.Program, pattern string, parent *telemetry.Span) (*Result, error) {
 	var bd sim.Counter
 	bd.Add(PhaseDatabase, s.Model.DatabaseOverhead)
 	parent.NewChild("bat-scan").AddSim(s.Model.DatabaseOverhead)
@@ -292,8 +327,12 @@ func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern strin
 
 	// Steps 4-8: create jobs through the HAL, one partition per engine.
 	sub := parent.StartChild("job-submit")
-	jobs, err := s.submitPartitioned(vec, col, result)
+	jobs, err := s.submitPartitioned(ctx, vec, col, result)
 	if err != nil {
+		// Release the partitions that did submit: they must not linger in
+		// the distributor's accounting (or hold status blocks) after the
+		// query abandons them.
+		s.HAL.Discard(jobs...)
 		return nil, err
 	}
 	bd.Add(PhaseHAL, hal.CreateTime)
@@ -301,62 +340,80 @@ func (s *System) execDirect(col *bat.Strings, prog *token.Program, pattern strin
 	sub.AddSim(hal.CreateTime)
 	sub.SetAttr("jobs", int64(len(jobs)))
 
-	mres := s.HAL.Drain()
-	var hwDone sim.Time
+	// Hand the group to the device runtime and await each partition's
+	// completion record. Attribution is per-job, so everything below is
+	// this query's own traffic even when a round is shared.
+	if err := s.HAL.Dispatch(jobs...); err != nil {
+		return nil, err
+	}
+	var hw HWStats
 	matches := 0
 	var cycles int64
 	for _, j := range jobs {
-		c, err := j.Completion()
+		c, err := j.Await(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if c > hwDone {
-			hwDone = c
+		if t := c.HWTime(); t > hw.Time {
+			hw.Time = t
 		}
+		if w := c.QueueWait(); w > hw.QueueWait {
+			hw.QueueWait = w
+		}
+		hw.Bytes += c.Bytes
+		hw.Grants += c.Grants
+		hw.Switches += c.Switches
+		hw.LinkBusy += c.LinkBusy
 		matches += j.Stats.Matches
 		cycles += int64(j.Stats.PUCycles)
 	}
-	bd.Add(PhaseHardware, hwDone)
+	if hw.QueueWait > 0 {
+		bd.Add(PhaseQueue, hw.QueueWait)
+	}
+	bd.Add(PhaseHardware, hw.Time)
 
 	// The hardware phase's sub-spans run as a pipeline: QPI transfer,
 	// engine parametrization, and PU matching overlap in simulated time, so
-	// their Sim durations are inclusive and need not sum to hwDone.
-	hw := parent.NewChild("hardware")
-	hw.AddSim(hwDone)
-	qpi := hw.NewChild("qpi-transfer")
-	qpi.AddSim(mres.BusyTime)
-	qpi.SetAttr("bytes", mres.BytesMoved)
-	qpi.SetAttr("grants", mres.Grants)
-	qpi.SetAttr("switches", mres.Switches)
-	disp := hw.NewChild("engine-dispatch")
+	// their Sim durations are inclusive and need not sum to the hardware
+	// phase.
+	hwSpan := parent.NewChild("hardware")
+	hwSpan.AddSim(hw.Time)
+	qpi := hwSpan.NewChild("qpi-transfer")
+	qpi.AddSim(hw.LinkBusy)
+	qpi.SetAttr("bytes", hw.Bytes)
+	qpi.SetAttr("grants", hw.Grants)
+	qpi.SetAttr("switches", hw.Switches)
+	disp := hwSpan.NewChild("engine-dispatch")
 	disp.AddSim(hal.ParametrizeTime * sim.Time(len(jobs)))
 	disp.SetAttr("jobs", int64(len(jobs)))
 	pus := s.Device.Deployment.Engines * s.Device.Deployment.PUsPerEngine
-	pm := hw.NewChild("pu-match")
+	pm := hwSpan.NewChild("pu-match")
 	pm.SetAttr("cycles", cycles)
 	if pus > 0 {
 		// Average per-PU busy time: PUs consume one input byte per
 		// 400 MHz cycle, striped across every deployed PU.
 		pm.AddSim(sim.PUClock.Cycles(cycles) / sim.Time(pus))
-		if hwDone > 0 {
+		if hw.Time > 0 {
 			s.Tel.Gauge("pu.utilization_pct").Set(
-				int64(sim.PUClock.Cycles(cycles)) * 100 / int64(hwDone*sim.Time(pus)))
+				int64(sim.PUClock.Cycles(cycles)) * 100 / int64(hw.Time*sim.Time(pus)))
 		}
 	}
-	coll := hw.NewChild("collect")
+	coll := hwSpan.NewChild("collect")
 	coll.AddSim(sim.FromSeconds(float64(col.Count()*2) / 6.5e9))
 	coll.SetAttr("result_bytes", int64(col.Count()*2))
 
 	return &Result{
 		Matches:    result,
 		MatchCount: matches,
+		HW:         hw,
 		Breakdown:  &bd,
 	}, nil
 }
 
 // submitPartitioned splits the column row-wise across the engines and
-// submits one job per partition.
-func (s *System) submitPartitioned(vec []byte, col *bat.Strings, result *bat.Shorts) ([]*hal.Job, error) {
+// submits one job per partition. On error the successfully submitted
+// partitions are returned alongside it so the caller can discard them.
+func (s *System) submitPartitioned(ctx context.Context, vec []byte, col *bat.Strings, result *bat.Shorts) ([]*hal.Job, error) {
 	n := col.Count()
 	engines := s.HAL.Engines()
 	if n < engines*64 {
@@ -383,9 +440,9 @@ func (s *System) submitPartitioned(vec []byte, col *bat.Strings, result *bat.Sho
 			Count:       hi - lo,
 			Result:      resBytes[lo*2 : hi*2],
 		}
-		j, err := s.HAL.SubmitTo(e, p)
+		j, err := s.HAL.SubmitToContext(ctx, e, p)
 		if err != nil {
-			return nil, err
+			return jobs, err
 		}
 		jobs = append(jobs, j)
 	}
@@ -394,12 +451,12 @@ func (s *System) submitPartitioned(vec []byte, col *bat.Strings, result *bat.Sho
 
 // execHybrid runs the prefix on the FPGA and post-processes matching rows
 // in software (§7.8).
-func (s *System) execHybrid(col *bat.Strings, hwPat, swPat string, opts token.Options, parent *telemetry.Span) (*Result, error) {
+func (s *System) execHybrid(ctx context.Context, col *bat.Strings, hwPat, swPat string, opts token.Options, parent *telemetry.Span) (*Result, error) {
 	prog, err := token.CompilePattern(hwPat, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.execDirect(col, prog, hwPat, parent)
+	res, err := s.execDirect(ctx, col, prog, hwPat, parent)
 	if err != nil {
 		return nil, err
 	}

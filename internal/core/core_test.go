@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"doppiodb/internal/config"
@@ -34,7 +35,7 @@ func TestHUDFEndToEnd(t *testing.T) {
 	tbl, hits := loadTable(t, s, 10_000, workload.HitQ2, 0.2)
 	col, _ := tbl.Column("address_string")
 
-	out, err := s.DB.CallUDF(UDFName, tbl, "address_string", workload.Q2)
+	out, err := s.DB.CallUDF(context.Background(), UDFName, tbl, "address_string", workload.Q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestExecAgainstSoftwareOracle(t *testing.T) {
 	s := newSystem(t)
 	tbl, _ := loadTable(t, s, 5_000, workload.HitQ3, 0.25)
 	col, _ := tbl.Column("address_string")
-	res, err := s.Exec(col.Strs, workload.Q3, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q3, token.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestExecLike(t *testing.T) {
 	s := newSystem(t)
 	tbl, hits := loadTable(t, s, 8_000, workload.HitQ1, 0.2)
 	col, _ := tbl.Column("address_string")
-	res, err := s.ExecLike(col.Strs, workload.Q1Like, false)
+	res, err := s.ExecLike(context.Background(), col.Strs, workload.Q1Like, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestExecILikeCollation(t *testing.T) {
 		t.Fatal(err)
 	}
 	col, _ := tbl.Column("address_string")
-	res, err := s.ExecLike(col.Strs, `%Strasse%`, true)
+	res, err := s.ExecLike(context.Background(), col.Strs, `%Strasse%`, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestHybridExecution(t *testing.T) {
 	}
 	col, _ := tbl.Column("address_string")
 
-	res, err := s.Exec(col.Strs, workload.QH, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, workload.QH, token.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestHybridPostprocessOnlyMatches(t *testing.T) {
 	rows, _ := workload.NewGenerator(5, 64).Table(4_000, workload.HitNone, 0)
 	tbl, _ := s.DB.LoadAddressTable("t", rows)
 	col, _ := tbl.Column("address_string")
-	res, err := s.Exec(col.Strs, workload.QH, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, workload.QH, token.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestPatternTooLargeNoSplit(t *testing.T) {
 	rows, _ := workload.NewGenerator(2, 64).Table(100, workload.HitNone, 0)
 	tbl, _ := s.DB.LoadAddressTable("t", rows)
 	col, _ := tbl.Column("address_string")
-	if _, err := s.Exec(col.Strs, `abcdefghij`, token.Options{}); err != ErrCannotSplit {
+	if _, err := s.Exec(context.Background(), col.Strs, `abcdefghij`, token.Options{}); err != ErrCannotSplit {
 		t.Errorf("err = %v, want ErrCannotSplit", err)
 	}
 }
@@ -214,7 +215,7 @@ func TestBreakdownPhases(t *testing.T) {
 	s := newSystem(t)
 	tbl, _ := loadTable(t, s, 10_000, workload.HitQ1, 0.2)
 	col, _ := tbl.Column("address_string")
-	res, err := s.Exec(col.Strs, workload.Q1Regex, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q1Regex, token.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

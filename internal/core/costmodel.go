@@ -131,9 +131,11 @@ func (s *System) EstimateCost(pattern string, n int, avgLen int, queued int64) (
 }
 
 // QueuedBytes reports the FPGA's current load as the total data volume of
-// jobs submitted since the last Drain — the "current load on the FPGA" the
-// paper's optimizer lacks.
+// jobs the device runtime has not completed yet — submitted, waiting in
+// the admission backlog, or in the running arbitration round — the
+// "current load on the FPGA" the paper's optimizer lacks. EstimateCost
+// turns it into QueueDelay at link rate.
 func (s *System) QueuedBytes() int64 {
-	// The HAL tracks per-engine queues; expose their volume.
+	// The HAL tracks per-engine volume; expose the total.
 	return s.HAL.QueuedBytes()
 }

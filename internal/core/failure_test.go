@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestExecFailsCleanlyWhenRegionExhausted(t *testing.T) {
 		t.Fatalf("small table after OOM: %v", err)
 	}
 	col, _ := tbl.Column("address_string")
-	if _, err := s.Exec(col.Strs, workload.Q1Regex, token.Options{}); err != nil {
+	if _, err := s.Exec(context.Background(), col.Strs, workload.Q1Regex, token.Options{}); err != nil {
 		t.Fatalf("exec after OOM: %v", err)
 	}
 }
@@ -61,7 +62,7 @@ func TestExecRejectsBadPatterns(t *testing.T) {
 	tbl, _ := s.DB.LoadAddressTable("t", rows)
 	col, _ := tbl.Column("address_string")
 	for _, pat := range []string{``, `(`, `a**`, `a*`, `x|`} {
-		if _, err := s.Exec(col.Strs, pat, token.Options{}); err == nil {
+		if _, err := s.Exec(context.Background(), col.Strs, pat, token.Options{}); err == nil {
 			t.Errorf("pattern %q accepted", pat)
 		}
 	}
@@ -71,10 +72,10 @@ func TestUDFErrorsPropagateThroughDB(t *testing.T) {
 	s := newSystem(t)
 	rows, _ := workload.NewGenerator(4, 64).Table(10, workload.HitNone, 0)
 	tbl, _ := s.DB.LoadAddressTable("t", rows)
-	if _, err := s.DB.CallUDF(UDFName, tbl, "address_string", `(`); err == nil {
+	if _, err := s.DB.CallUDF(context.Background(), UDFName, tbl, "address_string", `(`); err == nil {
 		t.Error("bad pattern through UDF accepted")
 	}
-	if _, err := s.DB.CallUDF(UDFName, tbl, "id", workload.Q1Regex); err == nil {
+	if _, err := s.DB.CallUDF(context.Background(), UDFName, tbl, "id", workload.Q1Regex); err == nil {
 		t.Error("UDF over int column accepted")
 	}
 }
@@ -92,11 +93,11 @@ func TestHybridFoldCaseUsesBacktracker(t *testing.T) {
 	rows, hits := workload.NewGenerator(5, 80).Table(3_000, workload.HitQH, 0.4)
 	tbl, _ := s.DB.LoadAddressTable("t", rows)
 	col, _ := tbl.Column("address_string")
-	res, err := s.Exec(col.Strs, strings.ToUpper(workload.QH[:len(workload.QH)-len("delivery")])+"DELIVERY", token.Options{FoldCase: true})
+	res, err := s.Exec(context.Background(), col.Strs, strings.ToUpper(workload.QH[:len(workload.QH)-len("delivery")])+"DELIVERY", token.Options{FoldCase: true})
 	if err != nil {
 		// The uppercased pattern may not parse identically; fall back
 		// to the plain pattern with folding.
-		res, err = s.Exec(col.Strs, workload.QH, token.Options{FoldCase: true})
+		res, err = s.Exec(context.Background(), col.Strs, workload.QH, token.Options{FoldCase: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+
 	"doppiodb/internal/bat"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/sim"
@@ -19,8 +21,9 @@ import (
 
 // execSoftware evaluates the full pattern on the CPU with the backtracking
 // engine (the PCRE stand-in), producing the same result BAT shape as the
-// hardware path. cause is the fault that forced the degradation.
-func (s *System) execSoftware(col *bat.Strings, pattern string, opts token.Options, parent *telemetry.Span, cause error) (*Result, error) {
+// hardware path. cause is the fault that forced the degradation. ctx is
+// honored between row chunks so a canceled query stops burning CPU.
+func (s *System) execSoftware(ctx context.Context, col *bat.Strings, pattern string, opts token.Options, parent *telemetry.Span, cause error) (*Result, error) {
 	sp := parent.StartChild("software-fallback")
 	bt, err := softregex.NewBacktracker(pattern, opts.FoldCase)
 	if err != nil {
@@ -37,6 +40,11 @@ func (s *System) execSoftware(col *bat.Strings, pattern string, opts token.Optio
 	matches := 0
 	var work perf.Work
 	for i := 0; i < col.Count(); i++ {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := col.Get(i)
 		end, steps := bt.Match(row)
 		work.Rows++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"doppiodb/internal/faults"
@@ -33,7 +34,7 @@ func TestDegradedFallbackMatchesOracle(t *testing.T) {
 	tbl, hits := loadTable(t, s, 10_000, workload.HitQ2, 0.2)
 	col, _ := tbl.Column("address_string")
 
-	res, err := s.Exec(col.Strs, workload.Q2, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{})
 	if err != nil {
 		t.Fatalf("Exec did not degrade: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestDegradedFlagPropagatesToUDF(t *testing.T) {
 	s := newFaultySystem(t, in)
 	tbl, hits := loadTable(t, s, 2_000, workload.HitQ1, 0.2)
 
-	out, err := s.DB.CallUDF(UDFName, tbl, "address_string", workload.Q1Regex)
+	out, err := s.DB.CallUDF(context.Background(), UDFName, tbl, "address_string", workload.Q1Regex)
 	if err != nil {
 		t.Fatalf("CallUDF did not degrade: %v", err)
 	}
@@ -92,7 +93,7 @@ func TestDegradedNotSetOnHealthyPath(t *testing.T) {
 	s := newFaultySystem(t, faults.New(faults.Options{}))
 	tbl, hits := loadTable(t, s, 5_000, workload.HitQ1, 0.2)
 	col, _ := tbl.Column("address_string")
-	res, err := s.Exec(col.Strs, workload.Q1Regex, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q1Regex, token.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/config"
+	"doppiodb/internal/faults"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/softregex"
+	"doppiodb/internal/telemetry"
+	"doppiodb/internal/token"
+	"doppiodb/internal/workload"
+)
+
+// TestSingleClientBitIdenticalAcrossRuns anchors the refactor's contract:
+// a lone query through the asynchronous device runtime produces exactly
+// the same simulated timings, traffic attribution, and phase breakdown
+// every run — the round it gets is the batch the synchronous drain used
+// to run.
+func TestSingleClientBitIdenticalAcrossRuns(t *testing.T) {
+	run := func() *Result {
+		s := newSystem(t)
+		tbl, _ := loadTable(t, s, 8_000, workload.HitQ2, 0.2)
+		col, _ := tbl.Column("address_string")
+		res, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MatchCount != b.MatchCount {
+		t.Errorf("match counts differ: %d vs %d", a.MatchCount, b.MatchCount)
+	}
+	if a.HW != b.HW {
+		t.Errorf("hardware stats differ across runs: %+v vs %+v", a.HW, b.HW)
+	}
+	for _, ph := range []string{PhaseDatabase, PhaseUDF, PhaseConfigGen, PhaseHAL, PhaseHardware} {
+		if a.Breakdown.Get(ph) != b.Breakdown.Get(ph) {
+			t.Errorf("%s differs: %v vs %v", ph, a.Breakdown.Get(ph), b.Breakdown.Get(ph))
+		}
+	}
+	// A lone client never queues: no wait in the stats, no queue phase in
+	// the breakdown (the phase list is identical to the synchronous era).
+	if a.HW.QueueWait != 0 {
+		t.Errorf("single client saw queue wait %v", a.HW.QueueWait)
+	}
+	if a.Breakdown.Get(PhaseQueue) != 0 {
+		t.Error("queue phase present in a single-client breakdown")
+	}
+	if a.HW.Bytes <= 0 || a.HW.Grants <= 0 {
+		t.Errorf("no traffic attributed: %+v", a.HW)
+	}
+}
+
+// TestEstimateCostSeesQueueDelay holds the device runtime paused while a
+// query's jobs wait for admission: the optimizer's cost function must
+// translate the queued volume into a nonzero predicted queue delay.
+func TestEstimateCostSeesQueueDelay(t *testing.T) {
+	s := newSystem(t)
+	tbl, _ := loadTable(t, s, 5_000, workload.HitQ1, 0.2)
+	col, _ := tbl.Column("address_string")
+	idle, err := s.EstimateCost(workload.Q1Regex, 5_000, 64, s.QueuedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.QueueDelay != 0 {
+		t.Errorf("idle device predicts queue delay %v", idle.QueueDelay)
+	}
+	s.HAL.Pause()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Exec(context.Background(), col.Strs, workload.Q1Regex, token.Options{})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueuedBytes() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	queued := s.QueuedBytes()
+	if queued == 0 {
+		t.Fatal("query never showed up as queued load")
+	}
+	loaded, err := s.EstimateCost(workload.Q1Regex, 5_000, 64, queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.QueueDelay <= 0 {
+		t.Errorf("loaded device predicts queue delay %v with %d bytes queued",
+			loaded.QueueDelay, queued)
+	}
+	if loaded.HWTime != idle.HWTime {
+		t.Errorf("queued load leaked into the processing-time estimate: %v vs %v",
+			loaded.HWTime, idle.HWTime)
+	}
+	s.HAL.Resume()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryCancellationAbortsQueuedJobs cancels a query while its jobs sit
+// in the paused runtime's backlog: Exec must return the context error (not
+// degrade), and the jobs' reservations must be gone.
+func TestQueryCancellationAbortsQueuedJobs(t *testing.T) {
+	s := newSystem(t)
+	tbl, _ := loadTable(t, s, 5_000, workload.HitQ1, 0.2)
+	col, _ := tbl.Column("address_string")
+	s.HAL.Pause()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Exec(ctx, col.Strs, workload.Q1Regex, token.Options{})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueuedBytes() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.QueuedBytes() == 0 {
+		t.Fatal("query never showed up as queued load")
+	}
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Exec err = %v, want context.Canceled", err)
+	}
+	if got := s.QueuedBytes(); got != 0 {
+		t.Errorf("canceled query left %d bytes queued", got)
+	}
+	s.HAL.Resume()
+	// The device stays usable after the abort.
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q1Regex, token.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount <= 0 {
+		t.Error("no matches after canceled predecessor")
+	}
+}
+
+// TestConcurrentStressMixedWorkload is the -race stress for the session
+// scheduler: 8 client goroutines fire >100 mixed direct, hybrid, and
+// fault-retried queries at one shared system. Every result must match the
+// softregex oracle, and every non-degraded query's attributed traffic must
+// equal the single-client reference — concurrent queries sharing rounds
+// must never bleed bytes into each other's stats.
+func TestConcurrentStressMixedWorkload(t *testing.T) {
+	type testCase struct {
+		pat      string
+		kind     workload.HitKind
+		strLen   int
+		rows     []string
+		oracle   int
+		refBytes int64
+		col      *bat.Strings
+	}
+	cases := []*testCase{
+		{pat: workload.Q1Regex, kind: workload.HitQ1, strLen: 64},
+		{pat: workload.Q2, kind: workload.HitQ2, strLen: 64},
+		{pat: workload.QH, kind: workload.HitQH, strLen: 80},
+	}
+	// A tiny deployment so QH exercises the hybrid path while Q1/Q2 stay
+	// direct (same shape as TestHybridExecution).
+	newSys := func(in *faults.Injector) *System {
+		t.Helper()
+		dep := fpga.DefaultDeployment()
+		dep.Limits = config.Limits{MaxStates: 8, MaxChars: 24}
+		s, err := NewSystem(Options{
+			Deployment:  &dep,
+			RegionBytes: 1 << 30,
+			Telemetry:   telemetry.NewRegistry(),
+			Faults:      in,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for i, c := range cases {
+		g := workload.NewGenerator(int64(50+i), c.strLen)
+		c.rows, _ = g.Table(3_000, c.kind, 0.25)
+		bt, err := softregex.NewBacktracker(c.pat, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range c.rows {
+			if end, _ := bt.MatchString(r); end > 0 {
+				c.oracle++
+			}
+		}
+	}
+
+	// Single-client reference on a healthy system: per-pattern attributed
+	// bytes, the bleed detector's ground truth.
+	ref := newSys(faults.New(faults.Options{}))
+	for i, c := range cases {
+		tbl, err := ref.DB.LoadAddressTable(c.pat, c.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := tbl.Column("address_string")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.Exec(context.Background(), col.Strs, c.pat, token.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MatchCount != c.oracle {
+			t.Fatalf("case %d reference matched %d, oracle %d", i, res.MatchCount, c.oracle)
+		}
+		c.refBytes = res.HW.Bytes
+		if c.refBytes <= 0 {
+			t.Fatalf("case %d reference attributed no bytes", i)
+		}
+	}
+
+	// Stress system: mild fault injection keeps the retry/watchdog paths
+	// hot under concurrency without making degradation the common case.
+	s := newSys(faults.New(faults.Options{Seed: 13, StuckDone: 0.05, HandshakeLoss: 0.05}))
+	for _, c := range cases {
+		tbl, err := s.DB.LoadAddressTable(c.pat, c.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := tbl.Column("address_string")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.col = col.Strs
+	}
+	const goroutines = 8
+	const perClient = 13 // 104 queries total
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	degraded := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				c := cases[(g*perClient+q)%len(cases)]
+				res, err := s.Exec(context.Background(), c.col, c.pat, token.Options{})
+				if err != nil {
+					t.Errorf("client %d query %d (%s): %v", g, q, c.pat, err)
+					return
+				}
+				if res.MatchCount != c.oracle {
+					t.Errorf("client %d query %d (%s): matched %d, oracle %d",
+						g, q, c.pat, res.MatchCount, c.oracle)
+					return
+				}
+				if res.Degraded {
+					mu.Lock()
+					degraded++
+					mu.Unlock()
+					continue
+				}
+				if res.HW.Bytes != c.refBytes {
+					t.Errorf("client %d query %d (%s): attributed %d bytes, single-client reference %d (stat bleed)",
+						g, q, c.pat, res.HW.Bytes, c.refBytes)
+					return
+				}
+				if res.HW.Time <= 0 {
+					t.Errorf("client %d query %d (%s): no hardware time", g, q, c.pat)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	t.Logf("stress: %d queries, %d degraded", goroutines*perClient, degraded)
+}

@@ -2,6 +2,7 @@ package doppiomon
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,7 +41,7 @@ func bootMon(t *testing.T) (*Server, *telemetry.Registry, *flightrec.Recorder) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.ExecLike(col.Strs, workload.Q1Like, false); err != nil {
+	if _, err := sys.ExecLike(context.Background(), col.Strs, workload.Q1Like, false); err != nil {
 		t.Fatal(err)
 	}
 	srv, err := Start("127.0.0.1:0", Config{Registry: reg, Recorder: rec, Health: sys.HAL})

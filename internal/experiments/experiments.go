@@ -32,12 +32,22 @@ type Config struct {
 	Seed int64
 	// Selectivity of the injected hits (paper default 0.2).
 	Selectivity float64
+	// MeasuredRows is the per-query row count of the measured concurrent
+	// throughput runs (Figures 8 and 11). The rate is volume-normalized
+	// to the paper's 2.5 M-row query, so this only has to be large
+	// enough to amortize per-round overheads. 0 selects the default.
+	MeasuredRows int
+	// Clients is the concurrent client-goroutine count of the measured
+	// throughput runs (0: the paper's 10).
+	Clients int
 }
 
 // Defaults mirror §7.1.1.
 const (
-	DefaultSampleRows  = 20_000
-	DefaultSelectivity = 0.2
+	DefaultSampleRows   = 20_000
+	DefaultSelectivity  = 0.2
+	DefaultMeasuredRows = 12_000
+	DefaultClients      = 10
 	// PaperRows is the table size of Table 1 and the throughput
 	// experiments: 2.5 million records.
 	PaperRows = 2_500_000
@@ -52,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Selectivity == 0 {
 		c.Selectivity = DefaultSelectivity
+	}
+	if c.MeasuredRows <= 0 {
+		c.MeasuredRows = DefaultMeasuredRows
+	}
+	if c.Clients <= 0 {
+		c.Clients = DefaultClients
 	}
 	return c
 }

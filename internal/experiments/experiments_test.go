@@ -54,11 +54,14 @@ func TestFigure8Shape(t *testing.T) {
 		t.Fatalf("points: %d", len(r.Points))
 	}
 	for _, p := range r.Points {
-		// Within 10% of the figure's values.
+		// Within 10% of the figure's values — the closed-form model and
+		// the measured concurrent run both.
 		if p.PaperQPS > 0 {
-			ratio := p.QPS / p.PaperQPS
-			if ratio < 0.9 || ratio > 1.1 {
-				t.Errorf("%d engines: %.1f q/s vs paper %.1f", p.Engines, p.QPS, p.PaperQPS)
+			if ratio := p.QPS / p.PaperQPS; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("%d engines: modeled %.1f q/s vs paper %.1f", p.Engines, p.QPS, p.PaperQPS)
+			}
+			if ratio := p.Measured / p.PaperQPS; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("%d engines: measured %.1f q/s vs paper %.1f", p.Engines, p.Measured, p.PaperQPS)
 			}
 		}
 	}
@@ -66,12 +69,18 @@ func TestFigure8Shape(t *testing.T) {
 	if diff := r.Points[3].QPS - r.Points[1].QPS; diff > 1.5 {
 		t.Errorf("4 engines gained %.1f q/s over 2; QPI should bound", diff)
 	}
+	if diff := r.Points[3].Measured - r.Points[1].Measured; diff > 1.5 {
+		t.Errorf("measured: 4 engines gained %.1f q/s over 2; QPI should bound", diff)
+	}
 	// Capacity line scales linearly with engines.
 	if r.Points[3].Capacity < 3.9*r.Points[0].Capacity {
 		t.Error("capacity line not linear")
 	}
 	if r.SingleEngineRawGBs < 5.4 || r.SingleEngineRawGBs > 6.3 {
 		t.Errorf("single-engine raw %.2f GB/s, want ≈5.89", r.SingleEngineRawGBs)
+	}
+	if r.MeasuredRawGBs < 5.4 || r.MeasuredRawGBs > 6.3 {
+		t.Errorf("measured single-engine raw %.2f GB/s, want ≈5.89", r.MeasuredRawGBs)
 	}
 }
 
@@ -186,6 +195,29 @@ func TestFigure11Shape(t *testing.T) {
 		}
 		if m[1].FPGA != m[10].FPGA {
 			t.Errorf("%s: FPGA not flat", q)
+		}
+		// The measured line comes from live concurrent runs, so it is
+		// flat only within tolerance (paper shape: QPI-bound at every
+		// client count). 10% per acceptance.
+		lo, hi := m[1].MeasuredFPGA, m[1].MeasuredFPGA
+		for c := 1; c <= 10; c++ {
+			v := m[c].MeasuredFPGA
+			if v <= 0 {
+				t.Fatalf("%s: no measured FPGA rate at %d clients", q, c)
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi/lo > 1.1 {
+			t.Errorf("%s: measured FPGA not flat in clients: min %.1f max %.1f", q, lo, hi)
+		}
+		// And it lands near the modeled QPI-bound rate.
+		if ratio := m[10].MeasuredFPGA / m[10].FPGA; ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: measured FPGA %.1f vs modeled %.1f", q, m[10].MeasuredFPGA, m[10].FPGA)
 		}
 		if r5 := m[5].DBx / m[1].DBx; r5 < 4.9 || r5 > 5.1 {
 			t.Errorf("%s: DBx not linear in clients: %.2f", q, r5)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,7 +50,7 @@ func Figure10(cfg Config) (*Figure10Result, error) {
 
 	out := &Figure10Result{}
 	for _, q := range evalQueries() {
-		res, err := s.Exec(col.Strs, q.Pattern, token.Options{})
+		res, err := s.Exec(context.Background(), col.Strs, q.Pattern, token.Options{})
 		if err != nil {
 			return nil, err
 		}

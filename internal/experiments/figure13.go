@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,7 +63,7 @@ func Figure13(cfg Config) (*Figure13Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Exec(col.Strs, workload.QH, token.Options{})
+		res, err := s.Exec(context.Background(), col.Strs, workload.QH, token.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -6,8 +6,8 @@
 // operator — recorded always-on at negligible cost.
 //
 // Every event carries two clocks: the wall time of the host process and a
-// simulated timestamp on a continuous timeline the HAL maintains across
-// Drain batches. Hardware-side events additionally carry a cycle count in
+// simulated timestamp on a continuous timeline the device runtime maintains
+// across arbitration rounds. Hardware-side events additionally carry a cycle count in
 // their clock domain (the 200 MHz fabric or the 400 MHz Processing Units),
 // so the exported timeline renders each domain at its own period — the
 // "waveform" view the paper's evaluation figures imply.
@@ -36,7 +36,7 @@ const (
 	// EvJobSubmit is the UDF handing a job to the HAL (wall-clocked).
 	EvJobSubmit Type = iota
 	// EvJobExec is an engine's execution window of one job on the
-	// simulated timeline (resolved at Drain).
+	// simulated timeline (resolved when its round runs).
 	EvJobExec
 	// EvEngineConfig is the engine parametrization window (the ~300 ns
 	// configuration-vector load) at the head of a job.
@@ -64,6 +64,15 @@ const (
 	EvDegrade
 	// EvDump marks a forensics dump request (SIGQUIT, \dump, degrade).
 	EvDump
+	// EvJobQueue is a dispatched job entering the device runtime's FIFO
+	// backlog; Arg is the job's data volume in bytes.
+	EvJobQueue
+	// EvJobAdmit is the admission layer moving a job into an arbitration
+	// round; Arg is the queue delay it accrued, in simulated nanoseconds.
+	EvJobAdmit
+	// EvJobCancel is a backlogged job aborted before its round was granted
+	// (context cancellation, discard, or runtime shutdown).
+	EvJobCancel
 
 	numTypes
 )
@@ -71,7 +80,7 @@ const (
 var typeNames = [numTypes]string{
 	"job-submit", "job-exec", "engine-config", "pu-busy", "grant-burst",
 	"phase-switch", "watchdog", "fault", "breaker-trip", "readmit",
-	"degrade", "dump",
+	"degrade", "dump", "job-queue", "job-admit", "job-cancel",
 }
 
 // String names the type the way the dump format and exporters do.

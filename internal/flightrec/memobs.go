@@ -26,7 +26,7 @@ type window struct {
 	started    bool
 }
 
-// MemObserver collects the simulated timeline of one Drain batch. It is
+// MemObserver collects the simulated timeline of one arbitration round. It is
 // used single-threaded inside memmodel.Simulate; Flush must be called after
 // the simulation to emit the trailing grant burst.
 type MemObserver struct {

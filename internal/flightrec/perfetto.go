@@ -4,7 +4,7 @@
 // memory-arbiter "waveform" view the paper's evaluation figures imply.
 //
 // All timestamps are on the *simulated* timebase (the recorder's continuous
-// timeline across Drain batches), expressed in the trace format's
+// timeline across arbitration rounds), expressed in the trace format's
 // microseconds. Durations of hardware windows are derived from their cycle
 // counts in the event's clock domain, so the 200 MHz fabric and the 400 MHz
 // Processing Units each render at their own period.

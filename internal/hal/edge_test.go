@@ -1,6 +1,7 @@
 package hal
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,10 +20,13 @@ func TestQueueFullRejectsBeforeEngineWork(t *testing.T) {
 	h.SetTelemetry(reg)
 	h.SetInjector(quiet())
 	p, _, _ := buildParams(t, region, `abc`, []string{"abc"})
+	jobs := make([]*Job, 0, queueSlots)
 	for i := 0; i < queueSlots; i++ {
-		if _, err := h.Submit(p); err != nil {
+		j, err := h.Submit(p)
+		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
+		jobs = append(jobs, j)
 	}
 	_, err := h.Submit(p)
 	if !errors.Is(err, ErrQueueFull) {
@@ -39,9 +43,12 @@ func TestQueueFullRejectsBeforeEngineWork(t *testing.T) {
 	if len(h.blockFree) != 0 {
 		t.Errorf("rejected submit leaked %d freed blocks", len(h.blockFree))
 	}
-	h.Drain()
+	// Completing the backlog frees the descriptor slots.
+	if _, err := h.Run(context.Background(), jobs...); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := h.Submit(p); err != nil {
-		t.Errorf("submit after drain: %v", err)
+		t.Errorf("submit after the queue drained: %v", err)
 	}
 }
 
@@ -109,10 +116,10 @@ func TestHandshakeRecoveryAfterDSMClobber(t *testing.T) {
 	}
 }
 
-func TestStatusBlockCorruptionScrubbedAtDrain(t *testing.T) {
+func TestStatusBlockCorruptionScrubbedAtCompletion(t *testing.T) {
 	// Shared memory damaged after the submit-time verification: Status
-	// reports a typed corruption error (not "pending"), and Drain scrubs
-	// the block back from the HAL's authoritative statistics.
+	// reports a typed corruption error (not "pending"), and the completing
+	// round scrubs the block back from the HAL's authoritative statistics.
 	h, region := newHAL(t)
 	reg := telemetry.NewRegistry()
 	h.SetTelemetry(reg)
@@ -134,7 +141,9 @@ func TestStatusBlockCorruptionScrubbedAtDrain(t *testing.T) {
 	if j.Done() {
 		t.Error("Done true on corrupted block")
 	}
-	h.Drain()
+	if _, err := h.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
 	done, serr = j.Status()
 	if serr != nil || !done {
 		t.Errorf("Status after scrub: done=%v err=%v", done, serr)

@@ -1,6 +1,7 @@
 package hal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -111,7 +112,9 @@ func TestFaultStuckDoneRecoversByRetry(t *testing.T) {
 	if reg.Counter("hal.faults.stuck_done").Value() == 0 {
 		t.Error("0.5-rate stuck-done never fired in 20 submits")
 	}
-	h.Drain()
+	if _, err := h.Run(context.Background(), jobs...); err != nil {
+		t.Fatal(err)
+	}
 	// Each retried job's completion carries its accrued watchdog latency.
 	for _, j := range jobs {
 		c, err := j.Completion()
@@ -290,7 +293,9 @@ func TestFaultQPIDegradedSlowsBatch(t *testing.T) {
 			}
 			jobs = append(jobs, j)
 		}
-		h.Drain()
+		if _, err := h.Run(context.Background(), jobs...); err != nil {
+			t.Fatal(err)
+		}
 		for _, j := range jobs {
 			c, err := j.Completion()
 			if err != nil {
@@ -313,7 +318,7 @@ func TestFaultInjectorOffBitIdentical(t *testing.T) {
 	type outcome struct {
 		strings, matches int
 		completed        sim.Time
-		finish           sim.Time
+		done             sim.Time
 	}
 	run := func(in *faults.Injector) []outcome {
 		h, region, _ := newFaultHAL(t, in)
@@ -329,14 +334,17 @@ func TestFaultInjectorOffBitIdentical(t *testing.T) {
 			}
 			jobs = append(jobs, j)
 		}
-		res := h.Drain()
+		comps, err := h.Run(context.Background(), jobs...)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var out []outcome
-		for _, j := range jobs {
+		for i, j := range jobs {
 			c, err := j.Completion()
 			if err != nil {
 				t.Fatal(err)
 			}
-			out = append(out, outcome{j.Stats.Strings, j.Stats.Matches, c, res.Finish})
+			out = append(out, outcome{j.Stats.Strings, j.Stats.Matches, c, comps[i].Done})
 		}
 		return out
 	}
@@ -393,7 +401,9 @@ func TestFaultConcurrentSubmitsInvariant(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	h.Drain()
+	if _, err := h.Run(context.Background(), jobs...); err != nil {
+		t.Fatal(err)
+	}
 	for _, j := range jobs {
 		if c, err := j.Completion(); err != nil || c <= 0 {
 			t.Fatalf("accepted job without completion: %v %v", c, err)

@@ -10,12 +10,13 @@
 // FPGA-to-CPU interrupts) plus the execution statistics the engine reports.
 //
 // Functional execution happens synchronously at submit time; *timing* is
-// accumulated as memory-model jobs per engine and resolved by Drain, which
-// runs the deterministic QPI simulation and stamps every job's completion
-// time.
+// resolved by the asynchronous device runtime (runtime.go): Dispatch hands
+// a query's jobs to the event-loop goroutine that owns the memory model
+// and the simulated device clock, and each job's Await delivers its
+// individual completion record with per-job QPI attribution.
 //
 // Because the platform's only health signals are the DSM handshake words
-// and each job's done bit, the HAL defends the whole submit→drain spine:
+// and each job's done bit, the HAL defends the whole submit→await spine:
 // config vectors and status blocks are checksummed (verified at engine
 // ingest and at the done-bit read), the done-bit busy-wait runs under a
 // simulated-time watchdog with bounded resubmission to other engines, and a
@@ -26,6 +27,7 @@
 package hal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,9 +65,17 @@ const (
 
 // Errors.
 var (
-	ErrQueueFull  = errors.New("hal: job queue full")
-	ErrBadEngine  = errors.New("hal: no such engine")
-	ErrNotDrained = errors.New("hal: job timing not resolved yet; call Drain")
+	ErrQueueFull = errors.New("hal: job queue full")
+	ErrBadEngine = errors.New("hal: no such engine")
+	// ErrPending is Completion called before the runtime finished the job.
+	ErrPending = errors.New("hal: job timing not resolved yet; await completion")
+	// ErrCanceled is a job aborted before its round was granted.
+	ErrCanceled = errors.New("hal: job canceled before execution")
+	// ErrClosed is a submit or dispatch against a closed runtime.
+	ErrClosed = errors.New("hal: runtime closed")
+	// ErrBadDispatch is a Dispatch of a nil, already-dispatched, or
+	// already-released job.
+	ErrBadDispatch = errors.New("hal: job cannot be dispatched")
 )
 
 // Job is a submitted FPGA job handle.
@@ -77,10 +87,15 @@ type Job struct {
 	statusAddr shmem.Addr
 	poolOff    uint32
 	region     *shmem.Region
+	hal        *HAL
 	penalty    sim.Time // watchdog/retry latency accrued before success
-	completed  sim.Time
-	drained    bool
-	seq        int64 // HAL-wide job sequence number (flight-recorder key)
+	completed  sim.Time // round-relative completion, stamped by the runtime
+	comp       Completion
+	finished   bool
+	canceled   bool
+	group      *jobGroup
+	done       chan struct{} // closed when the runtime completes or cancels the job
+	seq        int64         // HAL-wide job sequence number (flight-recorder key)
 }
 
 // Seq returns the HAL-wide job sequence number the flight recorder keys
@@ -108,10 +123,16 @@ func (j *Job) Done() bool {
 }
 
 // Completion returns the simulated completion time of the job relative to
-// the batch start. Valid after Drain.
+// its round's start. Valid once the runtime has completed the job (Await
+// returned); before that it reports ErrPending without blocking.
 func (j *Job) Completion() (sim.Time, error) {
-	if !j.drained {
-		return 0, ErrNotDrained
+	select {
+	case <-j.done:
+	default:
+		return 0, ErrPending
+	}
+	if j.canceled {
+		return 0, ErrCanceled
 	}
 	return j.completed, nil
 }
@@ -136,10 +157,14 @@ type HAL struct {
 	rec     *flightrec.Recorder
 
 	mu        sync.Mutex
-	simEpoch  sim.Time // continuous simulated timeline across Drain batches
-	jobSeq    int64    // HAL-wide job sequence (flight-recorder key)
-	queues    [][]memmodel.Job
-	jobs      [][]*Job
+	cond      *sync.Cond // wakes the runtime's event loop (backlog/resume/close)
+	simEpoch  sim.Time   // continuous simulated timeline across arbitration rounds
+	jobSeq    int64      // HAL-wide job sequence (flight-recorder key)
+	backlog   []*jobGroup
+	admitCap  int  // max in-flight jobs per engine in one round
+	paused    bool // admission suspended (tests observe queue buildup)
+	closed    bool
+	loopOn    bool    // event-loop goroutine started
 	queuedVol []int64 // per-engine running byte totals (the Distributor's index)
 	health    []engineHealth
 	dsmAddr   shmem.Addr
@@ -168,11 +193,11 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 		rec:    flightrec.Default(),
 	}
 	h.params.EngineBandwidth = dev.Deployment.EngineBandwidth()
+	h.cond = sync.NewCond(&h.mu)
+	h.admitCap = DefaultAdmissionCap
 	for i := 0; i < dev.Deployment.Engines; i++ {
 		h.engines = append(h.engines, engine.New(dev, i))
 	}
-	h.queues = make([][]memmodel.Job, len(h.engines))
-	h.jobs = make([][]*Job, len(h.engines))
 	h.queuedVol = make([]int64, len(h.engines))
 	h.health = make([]engineHealth, len(h.engines))
 	h.tel.Gauge("hal.engines.total").Set(int64(len(h.engines)))
@@ -223,8 +248,8 @@ func (h *HAL) SetRecorder(r *flightrec.Recorder) { h.rec = r }
 // Recorder returns the HAL's flight recorder.
 func (h *HAL) Recorder() *flightrec.Recorder { return h.rec }
 
-// SimEpoch returns the start of the next Drain batch on the recorder's
-// continuous simulated timeline.
+// SimEpoch returns the start of the next arbitration round on the
+// recorder's continuous simulated timeline.
 func (h *HAL) SimEpoch() sim.Time {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -249,34 +274,48 @@ func (h *HAL) AFUPresent() bool {
 
 // Submit enqueues a job and lets the Job Distributor assign it to the
 // least-loaded admitted engine, executing it functionally. The returned
-// handle's done bit is set in shared memory; its timing is resolved by
-// Drain. Under injected faults, Submit retries on other engines (bounded)
-// before returning a typed fault error.
+// handle's done bit is set in shared memory; its timing is resolved by the
+// device runtime after Dispatch. Under injected faults, Submit retries on
+// other engines (bounded) before returning a typed fault error.
 func (h *HAL) Submit(p engine.JobParams) (*Job, error) {
-	return h.submit(-1, p)
+	return h.submit(context.Background(), -1, p)
+}
+
+// SubmitContext is Submit honoring ctx: cancellation aborts the retry loop
+// between attempts (the watchdog path respects the caller's deadline).
+func (h *HAL) SubmitContext(ctx context.Context, p engine.JobParams) (*Job, error) {
+	return h.submit(ctx, -1, p)
 }
 
 // SubmitTo enqueues a job for a specific engine (partitioned execution
 // pins each partition to its own engine). Pinned jobs retry on the same
 // engine only.
 func (h *HAL) SubmitTo(engineID int, p engine.JobParams) (*Job, error) {
+	return h.SubmitToContext(context.Background(), engineID, p)
+}
+
+// SubmitToContext is SubmitTo honoring ctx.
+func (h *HAL) SubmitToContext(ctx context.Context, engineID int, p engine.JobParams) (*Job, error) {
 	if engineID < 0 || engineID >= len(h.engines) {
 		return nil, ErrBadEngine
 	}
-	return h.submit(engineID, p)
+	return h.submit(ctx, engineID, p)
 }
 
 // submit is the fault-aware submission loop: verify the handshake, pick an
 // engine, attempt, and on a hardware fault retry — a different engine when
 // unpinned — accumulating DoneWaitTimeout of simulated watchdog latency per
-// failed attempt.
-func (h *HAL) submit(pin int, p engine.JobParams) (*Job, error) {
+// failed attempt. A canceled ctx stops the loop between attempts.
+func (h *HAL) submit(ctx context.Context, pin int, p engine.JobParams) (*Job, error) {
 	h.checkHandshake()
 	cfgSum := crc32.ChecksumIEEE(p.Config)
 	var penalty sim.Time
 	var lastErr error
 	var tried uint64
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e := pin
 		if pin < 0 {
 			h.mu.Lock()
@@ -379,7 +418,9 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 		statusAddr: statusAddr,
 		poolOff:    off,
 		region:     h.region,
+		hal:        h,
 		penalty:    penalty,
+		done:       make(chan struct{}),
 	}
 
 	// The engine writes the status block (done bit + statistics + CRC) —
@@ -413,10 +454,15 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 		return fail(fmt.Errorf("hal: engine %d: %w", e, ErrDoneTimeout))
 	}
 
-	// The job completed: publish the descriptor and register it for the
-	// timing simulation.
+	// The job completed functionally: publish the descriptor and account
+	// it against the Distributor until the runtime resolves its timing.
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.closed {
+		h.freeBlockLocked(statusAddr, off)
+		h.queueLen--
+		return nil, ErrClosed
+	}
 	q, err := h.region.Bytes(h.queueAddr)
 	if err != nil {
 		h.freeBlockLocked(statusAddr, off)
@@ -429,10 +475,8 @@ func (h *HAL) attempt(e int, p engine.JobParams, cfgSum uint32, penalty sim.Time
 	binary.LittleEndian.PutUint64(slot[0:], uint64(statusAddr)+uint64(off))
 	binary.LittleEndian.PutUint32(slot[8:], uint32(e))
 	binary.LittleEndian.PutUint32(slot[12:], uint32(st.Strings))
-	h.slotNext++
+	h.slotNext = (h.slotNext + 1) % queueSlots
 
-	h.queues[e] = append(h.queues[e], j.Timing)
-	h.jobs[e] = append(h.jobs[e], j)
 	h.queuedVol[e] += int64(j.Timing.TotalBytes())
 
 	// DSM-style counters: accumulate from the status block just written,
@@ -516,89 +560,14 @@ func (h *HAL) freeBlockLocked(addr shmem.Addr, off uint32) {
 	h.blockFree = append(h.blockFree, blockRef{addr, off})
 }
 
-// Drain runs the deterministic QPI/engine timing simulation over every job
-// submitted since the last Drain, stamps each job's completion time
-// (including the HAL's fixed overheads and any watchdog latency the job
-// accrued), clears the queues, and returns the simulation result. Each
-// job's status block is re-verified against its checksum and scrubbed from
-// the HAL's authoritative statistics if shared memory was corrupted after
-// submission.
-func (h *HAL) Drain() memmodel.Result {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	params := h.params
-	if f := h.inj.QPIFactor(); f > 0 {
-		// Degraded link: the batch completes, just slower.
-		params.QPIBandwidth *= f
-		h.tel.Counter("hal.faults.qpi_degraded").Inc()
-	}
-	// The flight recorder observes the simulation: grant bursts and phase
-	// switches stream out as the arbiter issues them, job windows are
-	// collected for the per-engine and per-PU tracks below.
-	var obs *flightrec.MemObserver
-	if h.rec != nil {
-		obs = flightrec.NewMemObserver(h.rec, h.simEpoch)
-		params.Trace = obs
-	}
-	res := memmodel.Simulate(params, h.queues)
-	if obs != nil {
-		obs.Flush()
-	}
-	for e := range h.jobs {
-		for k, j := range h.jobs[e] {
-			j.completed = res.Done[e][k] + ParametrizeTime + j.penalty
-			j.drained = true
-			h.scrubStatusLocked(j)
-			if obs != nil {
-				h.recordJobTimelineLocked(obs, e, k, j)
-			}
-		}
-	}
-	if res.Finish > 0 {
-		// Advance the continuous timeline so the next batch renders after
-		// this one (the gap marks the batch boundary in the trace).
-		h.simEpoch += res.Finish + ParametrizeTime + drainGap
-	}
-	h.queues = make([][]memmodel.Job, len(h.engines))
-	h.jobs = make([][]*Job, len(h.engines))
-	for i := range h.queuedVol {
-		h.queuedVol[i] = 0
-	}
-	h.queueLen = 0
-	h.slotNext = 0
-
-	// QPI / arbiter telemetry from the timing simulation.
-	h.tel.Counter("qpi.bytes").Add(res.BytesMoved)
-	h.tel.Counter("qpi.busy_ns").Add(int64(res.BusyTime / sim.Nanosecond))
-	h.tel.Counter("qpi.grants").Add(res.Grants)
-	h.tel.Counter("qpi.switch_events").Add(res.Switches)
-	h.tel.Gauge("qpi.utilization_pct").Set(int64(res.Utilization() * 100))
-	if res.Grants > 0 && h.params.LineBytes > 0 {
-		// Batch efficiency: lines actually moved per grant vs. the
-		// arbiter's full batch of GrantLines.
-		lines := res.BytesMoved / int64(h.params.LineBytes)
-		h.tel.Gauge("qpi.batch_efficiency_pct").Set(
-			100 * lines / (res.Grants * int64(h.params.GrantLines)))
-	}
-	h.tel.Gauge("hal.queue_depth").Set(0)
-	return res
-}
-
-// drainGap separates successive Drain batches on the recorder's continuous
-// simulated timeline so their tracks never overlap.
-const drainGap = 1 * sim.Microsecond
-
 // recordJobTimelineLocked emits the per-engine and per-PU timeline of one
-// drained job: the parametrization window, the execution window, and one
+// completed job: the parametrization window, the execution window, and one
 // busy window per Processing Unit. The PU share is the hardware model's:
 // all deployed PUs of the engine carry the same configuration and the
 // round-robin dispatch stripes the input evenly across them, each consuming
-// one input byte per 400 MHz cycle. Caller holds h.mu.
-func (h *HAL) recordJobTimelineLocked(obs *flightrec.MemObserver, e, k int, j *Job) {
-	start, end, ok := obs.JobWindow(e, k)
-	if !ok {
-		start, end = 0, j.completed-j.penalty
-	}
+// one input byte per 400 MHz cycle. Caller holds h.mu, with simEpoch still
+// at the job's round start.
+func (h *HAL) recordJobTimelineLocked(e int, j *Job, start, end sim.Time) {
 	base := h.simEpoch
 	h.rec.Record(flightrec.Event{
 		Type:   flightrec.EvEngineConfig,
@@ -670,9 +639,9 @@ func (h *HAL) scrubStatusLocked(j *Job) {
 func (h *HAL) Params() *memmodel.Params { return &h.params }
 
 // QueuedBytes returns the total data volume of jobs awaiting timing
-// resolution — the FPGA's "current load", which §9 notes a stock UDF
-// interface cannot expose to the query optimizer. O(engines) over the
-// Distributor's running totals.
+// resolution — submitted, backlogged, or in the running round — the FPGA's
+// "current load", which §9 notes a stock UDF interface cannot expose to
+// the query optimizer. O(engines) over the Distributor's running totals.
 func (h *HAL) QueuedBytes() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()

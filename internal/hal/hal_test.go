@@ -1,6 +1,7 @@
 package hal
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -98,13 +99,19 @@ func TestSubmitExecutesAndSetsDoneBit(t *testing.T) {
 	if res.Get(1) != 0 || res.Get(2) != 0 {
 		t.Errorf("non-matching rows: %d %d", res.Get(1), res.Get(2))
 	}
-	if _, err := j.Completion(); err != ErrNotDrained {
-		t.Errorf("Completion before Drain: %v", err)
+	if _, err := j.Completion(); err != ErrPending {
+		t.Errorf("Completion before the runtime ran the job: %v", err)
 	}
-	h.Drain()
+	comps, err := h.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c, err := j.Completion()
 	if err != nil || c <= 0 {
-		t.Errorf("Completion after Drain: %v %v", c, err)
+		t.Errorf("Completion after run: %v %v", c, err)
+	}
+	if comps[0].HWTime() != c {
+		t.Errorf("completion record %v disagrees with Completion() %v", comps[0].HWTime(), c)
 	}
 }
 
@@ -158,7 +165,9 @@ func TestSubmitToPartitioned(t *testing.T) {
 		}
 		jobs = append(jobs, j)
 	}
-	h.Drain()
+	if _, err := h.Run(context.Background(), jobs...); err != nil {
+		t.Fatal(err)
+	}
 	total := 0
 	for _, j := range jobs {
 		total += j.Stats.Matches
@@ -207,21 +216,37 @@ func TestCapacityErrorSurfaces(t *testing.T) {
 	}
 }
 
-func TestDrainResetsQueues(t *testing.T) {
+func TestRuntimeDrainsBacklog(t *testing.T) {
 	h, region := newHAL(t)
 	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	// While admission is paused, dispatched groups pile up as queued load.
+	h.Pause()
+	var jobs []*Job
 	for i := 0; i < 5; i++ {
-		if _, err := h.Submit(p); err != nil {
+		j, err := h.Submit(p)
+		if err != nil {
 			t.Fatal(err)
 		}
+		if err := h.Dispatch(j); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
 	}
-	r1 := h.Drain()
-	if r1.Finish <= 0 {
-		t.Error("first drain made no progress")
+	if h.QueuedBytes() != 5*int64(jobs[0].Timing.TotalBytes()) {
+		t.Errorf("paused queue holds %d bytes", h.QueuedBytes())
 	}
-	r2 := h.Drain()
-	if r2.Finish != 0 {
-		t.Error("second drain should be empty")
+	h.Resume()
+	for i, j := range jobs {
+		c, err := j.Await(context.Background())
+		if err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+		if c.Done <= c.Admitted || c.QueueWait() < 0 {
+			t.Errorf("job %d implausible record: %+v", i, c)
+		}
+	}
+	if h.QueuedBytes() != 0 {
+		t.Error("queued bytes left after the backlog drained")
 	}
 }
 
@@ -244,9 +269,11 @@ func TestAccessorsAndQueuedBytes(t *testing.T) {
 	if got := h.QueuedBytes(); got != int64(j.Timing.TotalBytes()) {
 		t.Errorf("QueuedBytes = %d, want %d", got, j.Timing.TotalBytes())
 	}
-	h.Drain()
+	if _, err := h.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
 	if h.QueuedBytes() != 0 {
-		t.Error("QueuedBytes after drain")
+		t.Error("QueuedBytes after the job completed")
 	}
 }
 

@@ -1,0 +1,492 @@
+// The asynchronous device runtime: a single event-loop goroutine owns the
+// memory model and the simulated device clock, advances QPI arbitration
+// round by round, and completes jobs individually. Dispatch hands a group
+// of jobs (one query's partitions) to the scheduler as a unit; an
+// admission layer bounds the jobs in flight per engine and keeps the rest
+// in a FIFO backlog, so a burst of concurrent queries turns into queue
+// delay — observable through QueuedBytes and fed to core.EstimateCost —
+// instead of an unboundedly wide arbitration round.
+//
+// One round is one memmodel.Simulate call over the admitted jobs, started
+// at the current epoch of the continuous simulated timeline. A lone
+// query's round therefore contains exactly its own jobs, which keeps
+// single-client timings bit-identical to the historical synchronous
+// Drain. Per-job attribution (bytes, grants, switches, link-busy time)
+// is collected by observing the arbiter's grant stream, so concurrent
+// queries sharing a round each see only their own traffic.
+package hal
+
+import (
+	"context"
+
+	"doppiodb/internal/flightrec"
+	"doppiodb/internal/memmodel"
+	"doppiodb/internal/sim"
+)
+
+// DefaultAdmissionCap bounds the jobs one engine carries in a single
+// arbitration round. A group whose jobs would push any engine past the cap
+// waits in the FIFO backlog (the first group of a round is always admitted,
+// so a group wider than the cap still runs).
+const DefaultAdmissionCap = 4
+
+// roundGap separates successive arbitration rounds on the recorder's
+// continuous simulated timeline so their tracks never overlap.
+const roundGap = 1 * sim.Microsecond
+
+// Completion is the per-job completion record the runtime delivers through
+// Job.Await. All times are on the continuous simulated timeline; the
+// traffic fields count only this job's share of the round, so a query
+// summing its own jobs never sees a concurrent query's bytes.
+type Completion struct {
+	// Enqueued is when Dispatch placed the job's group in the backlog.
+	Enqueued sim.Time
+	// Admitted is the start of the arbitration round that ran the job.
+	Admitted sim.Time
+	// Done is the job's completion (parametrization and any accrued
+	// watchdog penalty included).
+	Done sim.Time
+	// Bytes, Grants and Switches are the QPI traffic the arbiter moved
+	// for this job.
+	Bytes    int64
+	Grants   int64
+	Switches int64
+	// LinkBusy is the link service time of this job's grants.
+	LinkBusy sim.Time
+}
+
+// QueueWait is the time the job's group spent in the backlog.
+func (c Completion) QueueWait() sim.Time { return c.Admitted - c.Enqueued }
+
+// HWTime is the hardware processing time: admission to completion.
+func (c Completion) HWTime() sim.Time { return c.Done - c.Admitted }
+
+// jobGroup is one Dispatch call's unit of admission: a query's partitions
+// enter a round together or not at all, so a group's jobs always share an
+// Admitted time and their relative completions stay comparable.
+type jobGroup struct {
+	jobs     []*Job
+	enqueued sim.Time
+	admitted bool
+	canceled bool
+}
+
+// Dispatch hands a group of submitted jobs to the device runtime as one
+// admission unit and returns immediately; each job's Await delivers its
+// completion record. The runtime's event loop starts lazily on the first
+// dispatch.
+func (h *HAL) Dispatch(jobs ...*Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	for _, j := range jobs {
+		if j == nil || j.group != nil || j.finished || j.canceled {
+			h.mu.Unlock()
+			return ErrBadDispatch
+		}
+	}
+	if !h.loopOn {
+		h.loopOn = true
+		go h.loop()
+	}
+	g := &jobGroup{jobs: jobs, enqueued: h.simEpoch}
+	for _, j := range jobs {
+		j.group = g
+		h.rec.Record(flightrec.Event{
+			Type:   flightrec.EvJobQueue,
+			Sim:    g.enqueued,
+			Engine: j.Engine,
+			Unit:   -1,
+			Job:    j.seq,
+			Arg:    int64(j.Timing.TotalBytes()),
+		})
+	}
+	h.backlog = append(h.backlog, g)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	return nil
+}
+
+// Run dispatches jobs as one group and awaits every completion — the
+// synchronous convenience the old submit→drain callers map onto.
+func (h *HAL) Run(ctx context.Context, jobs ...*Job) ([]Completion, error) {
+	if err := h.Dispatch(jobs...); err != nil {
+		return nil, err
+	}
+	out := make([]Completion, len(jobs))
+	for i, j := range jobs {
+		c, err := j.Await(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Await blocks until the runtime completes the job and returns its
+// completion record. If ctx is canceled while the job's group is still in
+// the backlog, the whole group is aborted — its status blocks are freed
+// and every sibling's Await reports ErrCanceled — and Await returns the
+// context's error. A group already admitted to a round runs to completion
+// (grants cannot be revoked mid-round); its record is then returned
+// normally.
+func (j *Job) Await(ctx context.Context) (Completion, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		if j.hal.cancelGroup(j.group) {
+			return Completion{}, ctx.Err()
+		}
+		<-j.done
+	}
+	if j.canceled {
+		return Completion{}, ErrCanceled
+	}
+	return j.comp, nil
+}
+
+// cancelGroup aborts a group still waiting in the backlog: its jobs are
+// marked canceled, their status blocks freed, and their awaiters released.
+// Returns false when the group was already admitted (or canceled), in
+// which case the round completes it normally.
+func (h *HAL) cancelGroup(g *jobGroup) bool {
+	if g == nil {
+		return false
+	}
+	h.mu.Lock()
+	if g.admitted || g.canceled {
+		h.mu.Unlock()
+		return false
+	}
+	g.canceled = true
+	for i, b := range h.backlog {
+		if b == g {
+			h.backlog = append(h.backlog[:i], h.backlog[i+1:]...)
+			break
+		}
+	}
+	h.releaseJobsLocked(g.jobs)
+	h.mu.Unlock()
+	for _, j := range g.jobs {
+		close(j.done)
+	}
+	return true
+}
+
+// releaseJobsLocked undoes the submit-time reservations of jobs that will
+// never run a round: status blocks return to the pool, the distributor's
+// volume accounting and the descriptor-queue occupancy shrink. Caller
+// holds h.mu.
+func (h *HAL) releaseJobsLocked(jobs []*Job) {
+	for _, j := range jobs {
+		j.canceled = true
+		h.freeBlockLocked(j.statusAddr, j.poolOff)
+		h.queueLen--
+		h.queuedVol[j.Engine] -= int64(j.Timing.TotalBytes())
+		h.rec.Record(flightrec.Event{
+			Type:   flightrec.EvJobCancel,
+			Sim:    h.simEpoch,
+			Engine: j.Engine,
+			Unit:   -1,
+			Job:    j.seq,
+		})
+	}
+	h.tel.Gauge("hal.queue_depth").Set(int64(h.queueLen))
+}
+
+// Discard releases submitted jobs that were never dispatched (a query that
+// failed between partition submits). Dispatched jobs are ignored — cancel
+// those through Await's context.
+func (h *HAL) Discard(jobs ...*Job) {
+	h.mu.Lock()
+	var victims []*Job
+	for _, j := range jobs {
+		if j == nil || j.group != nil || j.finished || j.canceled {
+			continue
+		}
+		victims = append(victims, j)
+	}
+	h.releaseJobsLocked(victims)
+	h.mu.Unlock()
+	for _, j := range victims {
+		close(j.done)
+	}
+}
+
+// Pause suspends admission: dispatched groups accumulate in the backlog
+// until Resume. A round already running completes normally. Tests use the
+// pair to observe queue buildup deterministically.
+func (h *HAL) Pause() {
+	h.mu.Lock()
+	h.paused = true
+	h.mu.Unlock()
+}
+
+// Resume reopens admission and wakes the event loop.
+func (h *HAL) Resume() {
+	h.mu.Lock()
+	h.paused = false
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Close shuts the runtime down: every group still in the backlog is
+// canceled (awaiters unblock with ErrCanceled) and the event loop exits
+// after any in-flight round. Further Dispatch and Submit calls fail with
+// ErrClosed. Close is idempotent.
+func (h *HAL) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	groups := h.backlog
+	h.backlog = nil
+	var victims []*Job
+	for _, g := range groups {
+		g.canceled = true
+		victims = append(victims, g.jobs...)
+	}
+	h.releaseJobsLocked(victims)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	for _, j := range victims {
+		close(j.done)
+	}
+}
+
+// loop is the device runtime's event loop: wait for backlogged work, admit
+// a round, simulate it, deliver completions, repeat. Exactly one loop
+// goroutine runs per HAL; it alone advances simEpoch.
+func (h *HAL) loop() {
+	for {
+		h.mu.Lock()
+		for !h.closed && (h.paused || len(h.backlog) == 0) {
+			h.cond.Wait()
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return
+		}
+		queues, jobs := h.admitLocked()
+		epoch := h.simEpoch
+		params := h.params
+		h.mu.Unlock()
+		h.runRound(epoch, params, queues, jobs)
+	}
+}
+
+// admitLocked moves backlogged groups into the next round, FIFO, until the
+// per-engine admission cap would be exceeded. The head group is always
+// admitted. Caller holds h.mu.
+func (h *HAL) admitLocked() (queues [][]memmodel.Job, jobs [][]*Job) {
+	queues = make([][]memmodel.Job, len(h.engines))
+	jobs = make([][]*Job, len(h.engines))
+	load := make([]int, len(h.engines))
+	admitted := 0
+	for len(h.backlog) > 0 {
+		g := h.backlog[0]
+		if g.canceled {
+			h.backlog = h.backlog[1:]
+			continue
+		}
+		if admitted > 0 && !h.fitsRound(load, g) {
+			break
+		}
+		for _, j := range g.jobs {
+			load[j.Engine]++
+			queues[j.Engine] = append(queues[j.Engine], j.Timing)
+			jobs[j.Engine] = append(jobs[j.Engine], j)
+			h.rec.Record(flightrec.Event{
+				Type:   flightrec.EvJobAdmit,
+				Sim:    h.simEpoch,
+				Engine: j.Engine,
+				Unit:   -1,
+				Job:    j.seq,
+				Arg:    int64((h.simEpoch - g.enqueued) / sim.Nanosecond),
+			})
+		}
+		g.admitted = true
+		admitted++
+		h.backlog = h.backlog[1:]
+	}
+	return queues, jobs
+}
+
+// fitsRound reports whether admitting group g keeps every engine at or
+// under the admission cap given the load already admitted.
+func (h *HAL) fitsRound(load []int, g *jobGroup) bool {
+	extra := make([]int, len(load))
+	for _, j := range g.jobs {
+		extra[j.Engine]++
+		if load[j.Engine]+extra[j.Engine] > h.admitCap {
+			return false
+		}
+	}
+	return true
+}
+
+// runRound executes one arbitration round: the deterministic QPI/engine
+// simulation over the admitted queues, per-job attribution and completion
+// stamping, status scrubbing, flight-recorder timelines, round telemetry,
+// and the epoch advance. It mirrors the historical Drain exactly for a
+// round holding a single query's jobs.
+func (h *HAL) runRound(epoch sim.Time, params memmodel.Params, queues [][]memmodel.Job, jobs [][]*Job) {
+	if f := h.inj.QPIFactor(); f > 0 {
+		// Degraded link: the round completes, just slower.
+		params.QPIBandwidth *= f
+		h.tel.Counter("hal.faults.qpi_degraded").Inc()
+	}
+	// The flight recorder observes the simulation (grant bursts, phase
+	// switches); the attribution observer charges the same stream to the
+	// job each grant served.
+	var mobs *flightrec.MemObserver
+	if h.rec != nil {
+		mobs = flightrec.NewMemObserver(h.rec, epoch)
+	}
+	att := newAttribution(queues, params.LineBytes, mobs)
+	params.Trace = att
+	res := memmodel.Simulate(params, queues)
+	if mobs != nil {
+		mobs.Flush()
+	}
+
+	var completed []*Job
+	h.mu.Lock()
+	for e := range jobs {
+		for k, j := range jobs[e] {
+			j.completed = res.Done[e][k] + ParametrizeTime + j.penalty
+			a := att.per[e][k]
+			j.comp = Completion{
+				Enqueued: j.group.enqueued,
+				Admitted: epoch,
+				Done:     epoch + j.completed,
+				Bytes:    a.bytes,
+				Grants:   a.grants,
+				Switches: a.switches,
+				LinkBusy: a.busy,
+			}
+			j.finished = true
+			h.scrubStatusLocked(j)
+			if mobs != nil {
+				start, end, ok := mobs.JobWindow(e, k)
+				if !ok {
+					start, end = 0, j.completed-j.penalty
+				}
+				h.recordJobTimelineLocked(e, j, start, end)
+			}
+			h.queueLen--
+			h.queuedVol[e] -= int64(j.Timing.TotalBytes())
+			completed = append(completed, j)
+		}
+	}
+	if res.Finish > 0 {
+		// Advance the continuous timeline so the next round renders after
+		// this one (the gap marks the round boundary in the trace).
+		h.simEpoch += res.Finish + ParametrizeTime + roundGap
+	}
+
+	// QPI / arbiter telemetry from the timing simulation.
+	h.tel.Counter("qpi.bytes").Add(res.BytesMoved)
+	h.tel.Counter("qpi.busy_ns").Add(int64(res.BusyTime / sim.Nanosecond))
+	h.tel.Counter("qpi.grants").Add(res.Grants)
+	h.tel.Counter("qpi.switch_events").Add(res.Switches)
+	h.tel.Gauge("qpi.utilization_pct").Set(int64(res.Utilization() * 100))
+	if res.Grants > 0 && h.params.LineBytes > 0 {
+		// Batch efficiency: lines actually moved per grant vs. the
+		// arbiter's full batch of GrantLines.
+		lines := res.BytesMoved / int64(h.params.LineBytes)
+		h.tel.Gauge("qpi.batch_efficiency_pct").Set(
+			100 * lines / (res.Grants * int64(h.params.GrantLines)))
+	}
+	h.tel.Gauge("hal.queue_depth").Set(int64(h.queueLen))
+	h.mu.Unlock()
+	for _, j := range completed {
+		close(j.done)
+	}
+}
+
+// jobAttr accumulates one job's share of a round's arbiter activity.
+type jobAttr struct {
+	bytes, grants, switches int64
+	busy                    sim.Time
+}
+
+// attribution satisfies memmodel.Observer: it tracks which job each engine
+// is currently serving and charges every grant and phase switch to it,
+// forwarding the stream to the flight recorder's observer. The arbiter
+// charges the inter-job switch stall to the job entering the engine (it
+// pays the entry turn), matching how a query experiences it.
+type attribution struct {
+	lineBytes int64
+	cur       []int
+	per       [][]jobAttr
+	fwd       *flightrec.MemObserver
+}
+
+func newAttribution(queues [][]memmodel.Job, lineBytes int, fwd *flightrec.MemObserver) *attribution {
+	a := &attribution{
+		lineBytes: int64(lineBytes),
+		cur:       make([]int, len(queues)),
+		per:       make([][]jobAttr, len(queues)),
+		fwd:       fwd,
+	}
+	for e, q := range queues {
+		a.per[e] = make([]jobAttr, len(q))
+	}
+	return a
+}
+
+// at returns engine e's current job accumulator (clamped, so a trailing
+// callback after the last job charges the last job).
+func (a *attribution) at(e int) *jobAttr {
+	if len(a.per[e]) == 0 {
+		return &jobAttr{}
+	}
+	k := a.cur[e]
+	if k >= len(a.per[e]) {
+		k = len(a.per[e]) - 1
+	}
+	return &a.per[e][k]
+}
+
+func (a *attribution) JobStart(e, k int, at sim.Time) {
+	a.cur[e] = k
+	if a.fwd != nil {
+		a.fwd.JobStart(e, k, at)
+	}
+}
+
+func (a *attribution) JobDone(e, k int, at sim.Time) {
+	a.cur[e] = k + 1 // boundary activity belongs to the next job
+	if a.fwd != nil {
+		a.fwd.JobDone(e, k, at)
+	}
+}
+
+func (a *attribution) Grant(e int, lines int64, start, end sim.Time) {
+	j := a.at(e)
+	j.bytes += lines * a.lineBytes
+	j.grants++
+	j.busy += end - start
+	if a.fwd != nil {
+		a.fwd.Grant(e, lines, start, end)
+	}
+}
+
+func (a *attribution) PhaseSwitch(e int, at sim.Time) {
+	a.at(e).switches++
+	if a.fwd != nil {
+		a.fwd.PhaseSwitch(e, at)
+	}
+}

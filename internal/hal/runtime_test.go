@@ -1,0 +1,213 @@
+package hal
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"doppiodb/internal/memmodel"
+	"doppiodb/internal/sim"
+)
+
+// TestAdmissionCapSplitsRounds pins more single-job groups to one engine
+// than the admission cap allows; the overflow must wait for a later round
+// and report the wait in its completion record.
+func TestAdmissionCapSplitsRounds(t *testing.T) {
+	h, region := newHAL(t)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	h.Pause()
+	var jobs []*Job
+	for i := 0; i < DefaultAdmissionCap+2; i++ {
+		j, err := h.SubmitTo(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Dispatch(j); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	h.Resume()
+	comps := make([]Completion, len(jobs))
+	for i, j := range jobs {
+		c, err := j.Await(context.Background())
+		if err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+		comps[i] = c
+	}
+	first := comps[0].Admitted
+	for i := 0; i < DefaultAdmissionCap; i++ {
+		if comps[i].Admitted != first {
+			t.Errorf("job %d admitted at %v, want first round %v", i, comps[i].Admitted, first)
+		}
+	}
+	for i := DefaultAdmissionCap; i < len(comps); i++ {
+		if comps[i].Admitted <= first {
+			t.Errorf("overflow job %d admitted at %v, not after round one (%v)",
+				i, comps[i].Admitted, first)
+		}
+		if comps[i].QueueWait() <= 0 {
+			t.Errorf("overflow job %d reports no queue wait", i)
+		}
+	}
+}
+
+// TestAwaitCancelAbortsQueuedGroup cancels a group still in the backlog:
+// the whole group must be released (status blocks, volume accounting) and
+// every sibling's Await must report the cancellation, while other groups
+// run unaffected.
+func TestAwaitCancelAbortsQueuedGroup(t *testing.T) {
+	h, region := newHAL(t)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	h.Pause()
+	j1, err := h.SubmitTo(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(j1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.SubmitTo(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.SubmitTo(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(a, b); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Await(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled await err = %v", err)
+	}
+	if _, err := a.Completion(); err != ErrCanceled {
+		t.Errorf("canceled job Completion err = %v", err)
+	}
+	// The sibling partition died with its group.
+	if _, err := b.Await(context.Background()); err != ErrCanceled {
+		t.Errorf("sibling await err = %v, want ErrCanceled", err)
+	}
+	// Only the surviving group's volume remains queued.
+	if got := h.QueuedBytes(); got != int64(j1.Timing.TotalBytes()) {
+		t.Errorf("QueuedBytes = %d after cancel, want %d", got, j1.Timing.TotalBytes())
+	}
+	h.Resume()
+	c, err := j1.Await(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Done <= c.Admitted {
+		t.Errorf("surviving job record implausible: %+v", c)
+	}
+	if h.QueuedBytes() != 0 {
+		t.Error("queued bytes after the surviving group completed")
+	}
+}
+
+// TestDiscardReleasesUndispatched covers the partial-submit failure path:
+// submitted-but-never-dispatched jobs are released and cannot be
+// dispatched afterwards.
+func TestDiscardReleasesUndispatched(t *testing.T) {
+	h, region := newHAL(t)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc"})
+	j1, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Discard(j1, j2)
+	if h.QueuedBytes() != 0 {
+		t.Errorf("QueuedBytes = %d after discard", h.QueuedBytes())
+	}
+	if len(h.blockFree) != 2 {
+		t.Errorf("discard freed %d blocks, want 2", len(h.blockFree))
+	}
+	if _, err := j1.Completion(); err != ErrCanceled {
+		t.Errorf("discarded job Completion err = %v", err)
+	}
+	if err := h.Dispatch(j1); err != ErrBadDispatch {
+		t.Errorf("dispatch of discarded job err = %v", err)
+	}
+}
+
+// TestCloseCancelsBacklog shuts the runtime down with work queued: the
+// backlog is canceled, awaiters unblock, and further submits are refused.
+func TestCloseCancelsBacklog(t *testing.T) {
+	h, region := newHAL(t)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc"})
+	h.Pause()
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(j); err != nil {
+		t.Fatal(err)
+	}
+	spare, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	h.Close() // idempotent
+	if _, err := j.Await(context.Background()); err != ErrCanceled {
+		t.Errorf("await after close err = %v", err)
+	}
+	if _, err := h.Submit(p); err != ErrClosed {
+		t.Errorf("submit after close err = %v", err)
+	}
+	if err := h.Dispatch(spare); err != ErrClosed {
+		t.Errorf("dispatch after close err = %v", err)
+	}
+}
+
+// TestRoundMatchesDirectSimulate is the bit-identity anchor: one group's
+// round through the asynchronous runtime must reproduce, per job, exactly
+// what a direct memmodel.Simulate over the same queues computes, and the
+// per-job attribution must sum to the round's global counters.
+func TestRoundMatchesDirectSimulate(t *testing.T) {
+	h, region := newHAL(t)
+	rows := make([]string, 64)
+	for i := range rows {
+		rows[i] = "John|Smith|44 Koblenzer Strasse|60327|Frankfurt"
+	}
+	p, _, _ := buildParams(t, region, `Strasse`, rows)
+	var jobs []*Job
+	for e := 0; e < 3; e++ {
+		j, err := h.SubmitTo(e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	comps, err := h.Run(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := make([][]memmodel.Job, h.Engines())
+	for _, j := range jobs {
+		queues[j.Engine] = append(queues[j.Engine], j.Timing)
+	}
+	res := memmodel.Simulate(*h.Params(), queues)
+	var bytes, grants, switches int64
+	var busy sim.Time
+	for i, j := range jobs {
+		if want := res.Done[j.Engine][0] + ParametrizeTime; comps[i].HWTime() != want {
+			t.Errorf("job %d hardware time %v, direct simulation %v", i, comps[i].HWTime(), want)
+		}
+		bytes += comps[i].Bytes
+		grants += comps[i].Grants
+		switches += comps[i].Switches
+		busy += comps[i].LinkBusy
+	}
+	if bytes != res.BytesMoved || grants != res.Grants || switches != res.Switches || busy != res.BusyTime {
+		t.Errorf("attribution sums (bytes %d grants %d switches %d busy %v) != round totals (%d %d %d %v)",
+			bytes, grants, switches, busy, res.BytesMoved, res.Grants, res.Switches, res.BusyTime)
+	}
+}

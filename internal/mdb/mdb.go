@@ -11,6 +11,7 @@
 package mdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -174,8 +175,10 @@ type UDFResult struct {
 	Degraded bool
 }
 
-// UDF is a BAT-level user-defined function over a string column.
-type UDF func(col *bat.Strings, arg string) (*UDFResult, error)
+// UDF is a BAT-level user-defined function over a string column. The
+// context carries the query's cancellation: a UDF that offloads must abort
+// its not-yet-granted hardware jobs when ctx is canceled.
+type UDF func(ctx context.Context, col *bat.Strings, arg string) (*UDFResult, error)
 
 // DB is the database instance.
 type DB struct {
@@ -430,8 +433,12 @@ func (db *DB) SelectContains(t *Table, colName, query string) (*Selection, error
 	return &Selection{OIDs: oids, Work: perf.Work{Rows: len(oids), Postings: postings}}, nil
 }
 
-// CallUDF invokes a registered UDF over a string column.
-func (db *DB) CallUDF(name string, t *Table, colName, arg string) (*UDFResult, error) {
+// CallUDF invokes a registered UDF over a string column. A nil ctx reads
+// as context.Background().
+func (db *DB) CallUDF(ctx context.Context, name string, t *Table, colName, arg string) (*UDFResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	f, ok := db.UDF(name)
 	if !ok {
 		return nil, fmt.Errorf("mdb: unknown UDF %q", name)
@@ -444,7 +451,7 @@ func (db *DB) CallUDF(name string, t *Table, colName, arg string) (*UDFResult, e
 		return nil, fmt.Errorf("mdb: UDF %s over %v column", name, col.Kind)
 	}
 	db.Tel.Counter("mdb.udf.calls").Inc()
-	return f(col.Strs, arg)
+	return f(ctx, col.Strs, arg)
 }
 
 // LoadAddressTable bulk-creates the paper's two-column address table.

@@ -1,6 +1,7 @@
 package mdb
 
 import (
+	"context"
 	"testing"
 
 	"doppiodb/internal/bat"
@@ -154,7 +155,7 @@ func TestContainsAgreesWithLike(t *testing.T) {
 
 func TestUDFRegistryAndCall(t *testing.T) {
 	db, tbl, _ := loadAddresses(t, 100, workload.HitQ1, 0.5)
-	db.RegisterUDF("regexp_fpga", func(col *bat.Strings, arg string) (*UDFResult, error) {
+	db.RegisterUDF("regexp_fpga", func(_ context.Context, col *bat.Strings, arg string) (*UDFResult, error) {
 		res, _ := bat.NewShorts(nil, col.Count())
 		matches := 0
 		for i := 0; i < col.Count(); i++ {
@@ -166,17 +167,17 @@ func TestUDFRegistryAndCall(t *testing.T) {
 		}
 		return &UDFResult{Result: res, Work: perf.Work{Rows: col.Count()}}, nil
 	})
-	out, err := db.CallUDF("regexp_fpga", tbl, "address_string", "always")
+	out, err := db.CallUDF(context.Background(), "regexp_fpga", tbl, "address_string", "always")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Result.Count() != 100 {
 		t.Errorf("UDF result rows = %d", out.Result.Count())
 	}
-	if _, err := db.CallUDF("nope", tbl, "address_string", "x"); err == nil {
+	if _, err := db.CallUDF(context.Background(), "nope", tbl, "address_string", "x"); err == nil {
 		t.Error("unknown UDF accepted")
 	}
-	if _, err := db.CallUDF("regexp_fpga", tbl, "id", "x"); err == nil {
+	if _, err := db.CallUDF(context.Background(), "regexp_fpga", tbl, "id", "x"); err == nil {
 		t.Error("UDF over int column accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,6 +57,17 @@ type Result struct {
 
 // Query parses and executes one SELECT.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext parses and executes one SELECT under ctx: cancellation
+// propagates into the hardware operator, aborting its not-yet-granted FPGA
+// jobs. The Engine itself is stateless across queries, so concurrent
+// sessions may share one Engine or hold one each.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	root := telemetry.StartSpan("query")
 	p := root.StartChild("sql-parse")
 	stmt, err := Parse(src)
@@ -64,24 +76,24 @@ func (e *Engine) Query(src string) (*Result, error) {
 		e.Tel.Counter("sql.parse_errors").Inc()
 		return nil, err
 	}
-	return e.exec(stmt, root)
+	return e.exec(ctx, stmt, root)
 }
 
 // Exec executes a parsed statement.
 func (e *Engine) Exec(stmt *SelectStmt) (*Result, error) {
-	return e.exec(stmt, telemetry.StartSpan("query"))
+	return e.exec(context.Background(), stmt, telemetry.StartSpan("query"))
 }
 
-func (e *Engine) exec(stmt *SelectStmt, root *telemetry.Span) (*Result, error) {
+func (e *Engine) exec(ctx context.Context, stmt *SelectStmt, root *telemetry.Span) (*Result, error) {
 	e.Tel.Counter("sql.queries").Inc()
-	if res, ok, err := e.tryFastCount(stmt, root); err != nil || ok {
+	if res, ok, err := e.tryFastCount(ctx, stmt, root); err != nil || ok {
 		if err != nil {
 			return nil, err
 		}
 		e.Tel.Counter("sql.fastpath." + metricKey(res.FastPath)).Inc()
 		return e.finish(res, root), nil
 	}
-	rel, work, udf, err := e.evalFrom(stmt.From)
+	rel, work, udf, err := e.evalFrom(ctx, stmt.From)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +131,7 @@ func metricKey(s string) string {
 // tryFastCount recognizes SELECT count(*) FROM t WHERE <single string
 // predicate> — the paper's microbenchmark shape — and runs it directly on
 // the column engine without materializing rows.
-func (e *Engine) tryFastCount(stmt *SelectStmt, root *telemetry.Span) (*Result, bool, error) {
+func (e *Engine) tryFastCount(ctx context.Context, stmt *SelectStmt, root *telemetry.Span) (*Result, bool, error) {
 	bt, ok := stmt.From.(*BaseTable)
 	if !ok || stmt.Where == nil || len(stmt.GroupBy) != 0 ||
 		len(stmt.OrderBy) != 0 || len(stmt.Items) != 1 || stmt.Items[0].Star {
@@ -190,7 +202,7 @@ func (e *Engine) tryFastCount(stmt *SelectStmt, root *telemetry.Span) (*Result, 
 			if e.Advisor != nil {
 				if _, hasUDF := e.DB.UDF("regexp_fpga"); hasUDF &&
 					e.Advisor.AdviseOffload(pat, tbl.Rows(), avgStringLen(tbl, ref.Column)) {
-					out, err := e.DB.CallUDF("regexp_fpga", tbl, ref.Column, pat)
+					out, err := e.DB.CallUDF(ctx, "regexp_fpga", tbl, ref.Column, pat)
 					if err != nil {
 						return nil, false, err
 					}
@@ -243,7 +255,7 @@ func (e *Engine) tryFastCount(stmt *SelectStmt, root *telemetry.Span) (*Result, 
 			// hardware-equivalent automaton row by row.
 			return nil, false, nil
 		}
-		out, err := e.DB.CallUDF("regexp_fpga", tbl, ref.Column, pat)
+		out, err := e.DB.CallUDF(ctx, "regexp_fpga", tbl, ref.Column, pat)
 		if err != nil {
 			return nil, false, err
 		}
@@ -337,13 +349,13 @@ func fpgaPredicate(w *BinaryExpr) (call *FuncCall, selectsZero bool) {
 }
 
 // evalFrom materializes a table reference.
-func (e *Engine) evalFrom(ref TableRef) (*relation, perf.Work, *mdb.UDFResult, error) {
+func (e *Engine) evalFrom(ctx context.Context, ref TableRef) (*relation, perf.Work, *mdb.UDFResult, error) {
 	switch t := ref.(type) {
 	case *BaseTable:
 		rel, err := e.materializeBase(t)
 		return rel, perf.Work{}, nil, err
 	case *SubqueryTable:
-		sub, err := e.Exec(t.Query)
+		sub, err := e.exec(ctx, t.Query, telemetry.StartSpan("query"))
 		if err != nil {
 			return nil, perf.Work{}, nil, err
 		}
@@ -365,7 +377,7 @@ func (e *Engine) evalFrom(ref TableRef) (*relation, perf.Work, *mdb.UDFResult, e
 		}
 		return rel, sub.Work, sub.UDF, nil
 	case *JoinTable:
-		return e.evalJoin(t)
+		return e.evalJoin(ctx, t)
 	}
 	return nil, perf.Work{}, nil, fmt.Errorf("sql: unsupported table reference %T", ref)
 }
@@ -404,12 +416,12 @@ func (e *Engine) materializeBase(t *BaseTable) (*relation, error) {
 
 // evalJoin runs a hash join, honoring LEFT OUTER semantics and evaluating
 // residual ON conjuncts per candidate pair.
-func (e *Engine) evalJoin(j *JoinTable) (*relation, perf.Work, *mdb.UDFResult, error) {
-	left, lw, ludf, err := e.evalFrom(j.Left)
+func (e *Engine) evalJoin(ctx context.Context, j *JoinTable) (*relation, perf.Work, *mdb.UDFResult, error) {
+	left, lw, ludf, err := e.evalFrom(ctx, j.Left)
 	if err != nil {
 		return nil, perf.Work{}, nil, err
 	}
-	right, rw, rudf, err := e.evalFrom(j.Right)
+	right, rw, rudf, err := e.evalFrom(ctx, j.Right)
 	if err != nil {
 		return nil, perf.Work{}, nil, err
 	}

@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -68,7 +69,7 @@ func TestHybridQueryTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := s.Exec(col.Strs, oversized, token.Options{})
+	res, err := s.Exec(context.Background(), col.Strs, oversized, token.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestIsolatedRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	col, _ := tbl.Column("address_string")
-	if _, err := s.Exec(col.Strs, workload.Q2, token.Options{}); err != nil {
+	if _, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Snapshot().Counter("core.queries"); got != 1 {
