@@ -7,6 +7,7 @@
 //	            [-sample N] [-seed S] [-selectivity F]
 //	            [-clients N] [-measured-rows N]
 //	            [-json] [-metrics-out FILE.json] [-trace-out FILE.json]
+//	            [-explain] [-explain-out FILE.json]
 //	            [-mon ADDR] [-faults SPEC]
 //
 // -sample sets how many rows the functional engines execute per
@@ -30,9 +31,12 @@
 //
 // Observability: -trace-out FILE writes the flight recorder's window as a
 // Chrome-trace JSON timeline (open in ui.perfetto.dev); -mon ADDR serves
-// /metrics, /health, /trace and /debug/pprof while the run is in progress;
-// SIGQUIT dumps the flight-recorder window to stderr without stopping the
-// run.
+// /metrics, /health, /trace, /calibration and /debug/pprof while the run is
+// in progress; SIGQUIT dumps the flight-recorder window to stderr without
+// stopping the run. Every query the experiments issue feeds the cost-model
+// calibration auditor: -explain prints the per-term prediction-error report
+// after the run, -explain-out writes it (plus the most recent decision
+// records) as JSON, and the -json document carries it in "calibration".
 package main
 
 import (
@@ -47,6 +51,7 @@ import (
 
 	"doppiodb/internal/doppiomon"
 	"doppiodb/internal/experiments"
+	"doppiodb/internal/explain"
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/hal"
@@ -70,6 +75,8 @@ func main() {
 		mrows    = flag.Int("measured-rows", experiments.DefaultMeasuredRows, "per-query rows of the measured throughput runs")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		metOut   = flag.String("metrics-out", "", "write the telemetry snapshot to this JSON file")
+		explainF = flag.Bool("explain", false, "print the cost-model calibration report after the run")
+		explOut  = flag.String("explain-out", "", "write the calibration report and recent decision records to this JSON file")
 		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline as Chrome-trace JSON to this file")
 		monAddr  = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
 		fspec    = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
@@ -193,12 +200,14 @@ func main() {
 	}
 	snap := telemetry.Default().Snapshot()
 	health := hal.SummaryFromMetrics(snap)
+	calib := explain.Default().Stats()
 	if jsonMode {
 		doc := struct {
 			Experiments []namedResult      `json:"experiments"`
 			Metrics     telemetry.Snapshot `json:"metrics"`
 			Health      hal.HealthCounters `json:"health"`
-		}{results, snap, health}
+			Calibration explain.Report     `json:"calibration"`
+		}{results, snap, health, calib}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -218,6 +227,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "doppiobench: telemetry snapshot written to %s\n", *metOut)
+	}
+	if *explainF {
+		fmt.Fprintln(os.Stderr, "doppiobench: cost-model calibration report:")
+		calib.WriteText(os.Stderr)
+	}
+	if *explOut != "" {
+		doc := struct {
+			explain.Report
+			Records []*explain.Record `json:"records"`
+		}{calib, explain.Default().Records(64)}
+		if doc.Records == nil {
+			doc.Records = []*explain.Record{}
+		}
+		if err := writeJSONFile(*explOut, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: write calibration: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "doppiobench: calibration report written to %s (%d records)\n",
+			*explOut, len(doc.Records))
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

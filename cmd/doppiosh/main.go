@@ -16,15 +16,20 @@
 // Meta-commands: `\metrics` dumps every telemetry counter and gauge of the
 // running system (PU utilization, QPI bytes, DSM status counters, allocator
 // gauges, operator counts), `\trace` prints the last query's lifecycle span
-// tree with simulated and wall-clock durations, `\health` shows the AFU
-// handshake state, the per-engine circuit breaker, and every fault/recovery
-// counter, `\dump [FILE]` writes the flight-recorder window (to stdout, or
+// tree with simulated and wall-clock durations, `\explain` prints the last
+// query's placement decision record — candidate plans with predicted cost
+// terms, the chosen plan's reason, and predicted-vs-actual error per term
+// (`EXPLAIN [ANALYZE] SELECT ...` works as a statement, too), `\health`
+// shows the AFU handshake state, the per-engine circuit breaker, every
+// fault/recovery counter, and the cost-model calibration report with drift
+// alarms, `\dump [FILE]` writes the flight-recorder window (to stdout, or
 // to FILE — a .json suffix selects the Chrome-trace format for
 // ui.perfetto.dev), `\q` quits. -faults injects hardware faults (same spec
 // grammar as doppiobench); degraded queries are marked on their status line
 // and trigger an automatic flight-recorder dump to stderr. -mon ADDR serves
-// the live monitoring endpoint (/metrics, /health, /trace, /debug/pprof);
-// SIGQUIT dumps the flight-recorder window to stderr at any time.
+// the live monitoring endpoint (/metrics, /health, /trace, /calibration,
+// /debug/pprof); SIGQUIT dumps the flight-recorder window to stderr at any
+// time.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 
 	"doppiodb/internal/core"
 	"doppiodb/internal/doppiomon"
+	"doppiodb/internal/explain"
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/mdb"
@@ -49,6 +55,10 @@ import (
 
 // lastTrace is the span tree of the most recent query, for \trace.
 var lastTrace *telemetry.Span
+
+// lastDecision is the placement decision record of the most recent query
+// that carried one, for \explain.
+var lastDecision *explain.Record
 
 func main() {
 	var (
@@ -83,9 +93,10 @@ func main() {
 	}()
 	if *monAddr != "" {
 		mon, err := doppiomon.Start(*monAddr, doppiomon.Config{
-			Registry: sys.Tel,
-			Recorder: sys.Rec,
-			Health:   sys.HAL,
+			Registry:    sys.Tel,
+			Recorder:    sys.Rec,
+			Health:      sys.HAL,
+			Calibration: sys.Audit,
 		})
 		fatal(err)
 		defer mon.Close()
@@ -169,6 +180,13 @@ func meta(sys *core.System, cmd string) bool {
 		}
 		lastTrace.WriteTree(os.Stdout)
 		return true
+	case `\explain`:
+		if lastDecision == nil {
+			fmt.Fprintln(os.Stderr, "no placement decision recorded yet (run a REGEXP_LIKE/REGEXP_FPGA query first)")
+			return true
+		}
+		lastDecision.WriteText(os.Stdout)
+		return true
 	case `\health`:
 		printHealth(sys)
 		return true
@@ -232,6 +250,8 @@ func printHealth(sys *core.System) {
 	} {
 		fmt.Printf("%-28s %d\n", name, sys.Tel.Counter(name).Value())
 	}
+	fmt.Println()
+	sys.Audit.Stats().WriteText(os.Stdout)
 }
 
 // splitStatements splits on `;` outside string literals.
@@ -270,6 +290,9 @@ func run(engine *sql.Engine, stmt string) {
 	}
 	if res.Trace != nil {
 		lastTrace = res.Trace
+	}
+	if res.Decision != nil {
+		lastDecision = res.Decision
 	}
 	printTable(res)
 	note := ""

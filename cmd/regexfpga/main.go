@@ -37,6 +37,8 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-line output")
 		trace    = flag.Bool("trace", false, "print the query-lifecycle span tree")
 		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline (plus the query span tree) as Chrome-trace JSON to this file")
+		explainF = flag.Bool("explain", false, "print the placement decision record with predicted-vs-actual cost per term")
+		explOut  = flag.String("explain-out", "", "write the decision record as JSON to this file")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -110,6 +112,24 @@ func main() {
 	if *trace && res.Trace != nil {
 		fmt.Fprintln(os.Stderr, "trace:")
 		res.Trace.WriteTree(os.Stderr)
+	}
+	if *explainF {
+		if res.Decision == nil {
+			fmt.Fprintln(os.Stderr, "explain: no decision record (cost estimation failed)")
+		} else {
+			fmt.Fprintln(os.Stderr, "explain:")
+			res.Decision.WriteText(os.Stderr)
+		}
+	}
+	if *explOut != "" && res.Decision != nil {
+		f, err := os.Create(*explOut)
+		fatal(err)
+		err = res.Decision.WriteJSON(f)
+		if cErr := f.Close(); err == nil {
+			err = cErr
+		}
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "decision record written to %s\n", *explOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

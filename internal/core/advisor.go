@@ -1,31 +1,18 @@
 package core
 
-import "doppiodb/internal/sim"
-
 // AdviseOffload implements sql.PlacementAdvisor: it answers whether the
 // hardware implementation is predicted to beat software for this predicate,
 // taking the FPGA's current queued load into account. Errors (e.g. the
 // pattern cannot even be split) conservatively keep the predicate in
 // software.
 //
-// Every decision records the cost model's predictions in the system's
-// telemetry registry (core.advisor.predicted_hw_ns / predicted_sw_ns), so
-// they can be compared post-hoc against the realized response time
-// accumulated in core.actual_ns.
+// It is a thin view over ExplainCost, which records the full decision —
+// candidate plans, itemized predictions, reason — and the advisor counters
+// (core.advisor.decisions / predicted_hw_ns / predicted_sw_ns / offloaded).
 func (s *System) AdviseOffload(pattern string, rows, avgLen int) bool {
-	s.Tel.Counter("core.advisor.decisions").Inc()
-	est, err := s.EstimateCost(pattern, rows, avgLen, s.QueuedBytes())
+	rec, err := s.ExplainCost(pattern, rows, avgLen)
 	if err != nil {
-		s.Tel.Counter("core.advisor.errors").Inc()
 		return false
 	}
-	s.Tel.Counter("core.advisor.predicted_hw_ns").Add(
-		int64((est.HWTime + est.QueueDelay) / sim.Nanosecond))
-	s.Tel.Counter("core.advisor.predicted_sw_ns").Add(
-		int64(est.SWTime / sim.Nanosecond))
-	offload := est.Placement == PlaceFPGA || est.Placement == PlaceHybrid
-	if offload {
-		s.Tel.Counter("core.advisor.offloaded").Inc()
-	}
-	return offload
+	return rec.Offloads()
 }

@@ -17,10 +17,12 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime/pprof"
 
 	"doppiodb/internal/bat"
 	"doppiodb/internal/config"
 	"doppiodb/internal/engine"
+	"doppiodb/internal/explain"
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/fpga"
@@ -69,6 +71,9 @@ type Options struct {
 	// Recorder is the flight recorder the HAL and the degrade path report
 	// into. Nil selects the process-wide default recorder.
 	Recorder *flightrec.Recorder
+	// Auditor receives every finished decision record for cost-model
+	// calibration. Nil selects the process-wide default auditor.
+	Auditor *explain.Auditor
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -82,6 +87,8 @@ type System struct {
 	Tel *telemetry.Registry
 	// Rec is the always-on flight recorder shared with the HAL.
 	Rec *flightrec.Recorder
+	// Audit is the calibration auditor every decision record feeds.
+	Audit *explain.Auditor
 }
 
 // NewSystem boots the platform: programs the FPGA, maps the shared region,
@@ -116,6 +123,12 @@ func NewSystem(opts Options) (*System, error) {
 		rec = flightrec.Default()
 	}
 	h.SetRecorder(rec)
+	aud := opts.Auditor
+	if aud == nil {
+		aud = explain.Default()
+	}
+	aud.SetTelemetry(tel)
+	aud.SetRecorder(rec)
 	s := &System{
 		Region: region,
 		Device: dev,
@@ -124,6 +137,7 @@ func NewSystem(opts Options) (*System, error) {
 		Model:  model,
 		Tel:    tel,
 		Rec:    rec,
+		Audit:  aud,
 	}
 	// Bind every layer to the same registry: allocator gauges, HAL/engine
 	// counters, and the operator metrics of the column store.
@@ -173,6 +187,10 @@ type Result struct {
 	// QPI transfer → engine dispatch → PU match → collect, plus the hybrid
 	// post-processing stage when used.
 	Trace *telemetry.Span
+	// Decision is the placement decision record (EXPLAIN's view) with the
+	// actual figures filled in — candidate plans, predicted cost terms,
+	// per-term prediction error. Nil when the estimate itself failed.
+	Decision *explain.Record
 }
 
 // Total returns the simulated response time.
@@ -221,6 +239,7 @@ func (s *System) RegexpFPGA(ctx context.Context, col *bat.Strings, pattern strin
 		Breakdown: bd,
 		Trace:     res.Trace,
 		Degraded:  res.Degraded,
+		Decision:  res.Decision,
 	}, nil
 }
 
@@ -233,6 +252,12 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The decision record rides the context down from the SQL layer (which
+	// already priced the candidates); a direct Exec call builds its own.
+	rec := explain.FromContext(ctx)
+	if rec == nil {
+		rec = s.recordForExec(col, pattern)
+	}
 	root := telemetry.StartSpan("regexp_fpga")
 	root.SetAttr("rows", int64(col.Count()))
 	s.Tel.Counter("core.queries").Inc()
@@ -242,36 +267,51 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 		return nil, err
 	}
 	lim := s.Device.Deployment.Limits
+	placement := "fpga"
+	if config.Fits(prog, lim) != nil {
+		placement = "hybrid"
+	}
+	if rec != nil && !rec.Offloads() {
+		// The operator was invoked although the cost model preferred
+		// software (explicit REGEXP_FPGA, or a caller overriding the
+		// advisor): the record must describe the plan that actually runs.
+		rec.ForceHardware("hardware operator invoked explicitly; cost model preferred software")
+	}
 	var res *Result
-	if config.Fits(prog, lim) == nil {
-		res, err = s.execDirect(ctx, col, prog, pattern, root)
-	} else {
-		split := root.StartChild("plan-split")
-		hwPat, swPat, sErr := SplitPattern(pattern, lim, opts)
-		split.End()
-		if sErr != nil {
-			return nil, sErr
+	// Label the serving goroutine so /debug/pprof profiles attribute
+	// samples per placement (the SQL layer adds session and query ids).
+	pprof.Do(ctx, pprof.Labels("doppio.placement", placement), func(ctx context.Context) {
+		if placement == "fpga" {
+			res, err = s.execDirect(ctx, col, prog, pattern, root)
+		} else {
+			split := root.StartChild("plan-split")
+			hwPat, swPat, sErr := SplitPattern(pattern, lim, opts)
+			split.End()
+			if sErr != nil {
+				err = sErr
+				return
+			}
+			s.Tel.Counter("core.hybrid_queries").Inc()
+			res, err = s.execHybrid(ctx, col, hwPat, swPat, opts, root)
 		}
-		s.Tel.Counter("core.hybrid_queries").Inc()
-		res, err = s.execHybrid(ctx, col, hwPat, swPat, opts, root)
-	}
-	if err != nil && hal.IsFault(err) {
-		// The hardware path is wedged beyond the HAL's retries (the
-		// partially submitted jobs were already discarded): degrade to the
-		// software operator. The flight recorder marks the degradation and
-		// dumps its window — the black-box forensics of what the hardware
-		// did leading up to it.
-		s.Tel.Counter("core.fallback.software").Inc()
-		s.Rec.Record(flightrec.Event{
-			Type:   flightrec.EvDegrade,
-			Sim:    s.HAL.SimEpoch(),
-			Engine: -1,
-			Unit:   -1,
-			Note:   err.Error(),
-		})
-		s.Rec.DumpOnDegrade(err.Error())
-		res, err = s.execSoftware(ctx, col, pattern, opts, root, err)
-	}
+		if err != nil && hal.IsFault(err) {
+			// The hardware path is wedged beyond the HAL's retries (the
+			// partially submitted jobs were already discarded): degrade to the
+			// software operator. The flight recorder marks the degradation and
+			// dumps its window — the black-box forensics of what the hardware
+			// did leading up to it.
+			s.Tel.Counter("core.fallback.software").Inc()
+			s.Rec.Record(flightrec.Event{
+				Type:   flightrec.EvDegrade,
+				Sim:    s.HAL.SimEpoch(),
+				Engine: -1,
+				Unit:   -1,
+				Note:   err.Error(),
+			})
+			s.Rec.DumpOnDegrade(err.Error())
+			res, err = s.execSoftware(ctx, col, pattern, opts, root, err)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +321,8 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	res.Trace = root
 	s.Tel.Counter("core.matches").Add(int64(res.MatchCount))
 	s.Tel.Counter("core.actual_ns").Add(int64(res.Total() / sim.Nanosecond))
+	finishRecord(rec, res)
+	res.Decision = rec
 	return res, nil
 }
 

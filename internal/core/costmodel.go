@@ -3,6 +3,7 @@ package core
 import (
 	"doppiodb/internal/bat"
 	"doppiodb/internal/config"
+	"doppiodb/internal/hal"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/softregex"
@@ -48,7 +49,9 @@ func (p Placement) String() string {
 	return "unknown"
 }
 
-// CostEstimate is the optimizer-facing cost function of the operator.
+// CostEstimate is the optimizer-facing cost function of the operator. The
+// hardware prediction is itemized so the explain layer can compare each
+// term against the runtime's per-job Completion records, not just the sum.
 type CostEstimate struct {
 	Placement Placement
 	// HWTime / SWTime are the predicted response times of the two
@@ -58,6 +61,19 @@ type CostEstimate struct {
 	// FPGA's current load (§9: "the query optimizer has no knowledge
 	// about the capacity or current load on the FPGA" — here it does).
 	QueueDelay sim.Time
+	// ScanBytes is the predicted input volume crossing QPI.
+	ScanBytes int64
+	// QPITransfer is the predicted link service time of that volume at
+	// the 6.5 GB/s QPI rate; EngineBusy adds the engine-side
+	// parametrization on top (admission → completion on the engine).
+	QPITransfer, EngineBusy sim.Time
+	// Fixed bundles the per-query constants: database handoff, UDF
+	// software part, configuration generation, HAL job creation.
+	Fixed sim.Time
+	// Fits reports whether the whole expression fits the deployed
+	// engines; HWPart/SWPart record the hybrid split when it exists.
+	Fits           bool
+	HWPart, SWPart string
 	// States/Chars are the expression's resource demand.
 	States, Chars int
 }
@@ -76,10 +92,15 @@ func (s *System) EstimateCost(pattern string, n int, avgLen int, queued int64) (
 	est := &CostEstimate{States: prog.NumStates(), Chars: prog.NumChars()}
 
 	// Hardware: volume / QPI bandwidth + fixed overheads; precise by
-	// construction.
+	// construction. The terms are kept apart so EXPLAIN can show which
+	// one a misprediction lives in.
 	volume := float64(n) * float64(bat.EntryStride(avgLen)+bat.OffsetWidth+2)
-	est.HWTime = sim.FromSeconds(volume/6.5e9) +
-		s.Model.DatabaseOverhead + s.Model.UDFOverhead + s.Model.ConfigGenTime
+	est.ScanBytes = int64(volume)
+	est.QPITransfer = sim.FromSeconds(volume / 6.5e9)
+	est.EngineBusy = est.QPITransfer + hal.ParametrizeTime
+	est.Fixed = s.Model.DatabaseOverhead + s.Model.UDFOverhead +
+		s.Model.ConfigGenTime + hal.CreateTime
+	est.HWTime = est.EngineBusy + est.Fixed
 	est.QueueDelay = sim.FromSeconds(float64(queued) / 6.5e9)
 
 	// Software: probe the backtracker on synthesized rows of the same
@@ -114,6 +135,7 @@ func (s *System) EstimateCost(pattern string, n int, avgLen int, queued int64) (
 	// fit; software when it cannot be split either, or when the FPGA's
 	// queued load erases the win.
 	fits := config.Fits(prog, s.Device.Deployment.Limits) == nil
+	est.Fits = fits
 	hwTotal := est.HWTime + est.QueueDelay
 	switch {
 	case fits && hwTotal <= est.SWTime:
@@ -121,8 +143,9 @@ func (s *System) EstimateCost(pattern string, n int, avgLen int, queued int64) (
 	case fits:
 		est.Placement = PlaceSoftware
 	default:
-		if _, _, err := SplitPattern(pattern, s.Device.Deployment.Limits, token.Options{}); err == nil {
+		if hw, sw, err := SplitPattern(pattern, s.Device.Deployment.Limits, token.Options{}); err == nil {
 			est.Placement = PlaceHybrid
+			est.HWPart, est.SWPart = hw, sw
 		} else {
 			est.Placement = PlaceSoftware
 		}

@@ -8,6 +8,9 @@
 //	/trace        the flight recorder's retained window (JSON events;
 //	              ?format=perfetto for the Chrome-trace document,
 //	              ?format=text for the dump format)
+//	/calibration  the cost-model calibration auditor's rolling report:
+//	              per-term prediction error statistics, drift alarms, and
+//	              (?records=N) the most recent decision records
 //	/debug/pprof  the standard Go profiling handlers
 //
 // The server holds references, not copies: every request renders the state
@@ -20,8 +23,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"doppiodb/internal/explain"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/hal"
 	"doppiodb/internal/telemetry"
@@ -43,6 +48,8 @@ type Config struct {
 	Recorder *flightrec.Recorder
 	// Health backs /health's per-engine section.
 	Health HealthSource
+	// Calibration backs /calibration (nil: the process default auditor).
+	Calibration *explain.Auditor
 }
 
 // Server is a running monitoring endpoint.
@@ -61,6 +68,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if cfg.Recorder == nil {
 		cfg.Recorder = flightrec.Default()
 	}
+	if cfg.Calibration == nil {
+		cfg.Calibration = explain.Default()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("doppiomon: listen %s: %w", addr, err)
@@ -70,6 +80,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/calibration", s.handleCalibration)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -165,6 +176,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if doc.Status != "ok" {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // best-effort response write
+}
+
+// handleCalibration serves the calibration auditor's rolling report as
+// JSON (?format=text for the \health-style table). ?records=N appends the
+// N most recent decision records to the JSON document.
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	aud := s.cfg.Calibration
+	rep := aud.Stats()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	doc := struct {
+		explain.Report
+		Records []*explain.Record `json:"records,omitempty"`
+	}{Report: rep}
+	if n, err := strconv.Atoi(r.URL.Query().Get("records")); err == nil && n > 0 {
+		doc.Records = aud.Records(n)
+	}
+	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(doc) //nolint:errcheck // best-effort response write

@@ -1,0 +1,173 @@
+package explain
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/flightrec"
+	"doppiodb/internal/telemetry"
+)
+
+// feed builds an executed record whose engine_busy term carries the given
+// signed relative error and hands it to the auditor.
+func feed(a *Auditor, signedErr float64) *Record {
+	const actual = 1_000_000
+	pred := int64(math.Round(float64(actual) * (1 + signedErr)))
+	r := &Record{
+		Pattern: "x.*y", Rows: 1000,
+		Candidates: []Candidate{{Placement: "fpga", Feasible: true,
+			Cost: Cost{EngineBusyNS: pred, TotalNS: pred}}},
+		Chosen: "fpga",
+	}
+	r.SetAuditor(a)
+	r.Finish(Cost{EngineBusyNS: actual, TotalNS: actual})
+	return r
+}
+
+func TestAuditorWindowStats(t *testing.T) {
+	a := NewAuditor(Options{Window: 8, MinSamples: 100})
+	for _, e := range []float64{0.10, -0.20, 0.30, 0.40} {
+		feed(a, e)
+	}
+	rep := a.Stats()
+	if rep.Samples != 4 || rep.Observed != 4 {
+		t.Fatalf("samples=%d observed=%d, want 4/4", rep.Samples, rep.Observed)
+	}
+	ts, ok := rep.Term(TermEngineBusy)
+	if !ok {
+		t.Fatal("no engine_busy statistics")
+	}
+	// mean |err| = (10+20+30+40)/4 = 25%; bias = (10-20+30+40)/4 = +15%.
+	if math.Abs(ts.MeanRelErrPct-25) > 0.01 {
+		t.Errorf("mean = %.2f%%, want 25%%", ts.MeanRelErrPct)
+	}
+	if math.Abs(ts.BiasPct-15) > 0.01 {
+		t.Errorf("bias = %.2f%%, want +15%%", ts.BiasPct)
+	}
+	// Nearest-rank over sorted magnitudes [10 20 30 40]:
+	// p50 at index (4-1)*50/100 = 1 → 20%; p95 at index 2 (truncated) → 30%.
+	if math.Abs(ts.P50RelErrPct-20) > 0.01 {
+		t.Errorf("p50 = %.2f%%, want 20%%", ts.P50RelErrPct)
+	}
+	if math.Abs(ts.P95RelErrPct-30) > 0.01 {
+		t.Errorf("p95 = %.2f%%, want 30%%", ts.P95RelErrPct)
+	}
+	if ts.Alarm {
+		t.Error("alarm latched below MinSamples")
+	}
+}
+
+func TestAuditorRingEviction(t *testing.T) {
+	a := NewAuditor(Options{Window: 4})
+	for i := 0; i < 6; i++ {
+		feed(a, 0.05)
+	}
+	rep := a.Stats()
+	if rep.Samples != 4 {
+		t.Errorf("window retained %d records, want 4", rep.Samples)
+	}
+	if rep.Observed != 6 {
+		t.Errorf("observed %d, want 6", rep.Observed)
+	}
+	if got := len(a.Records(0)); got != 4 {
+		t.Errorf("Records(0) = %d records, want 4", got)
+	}
+	if got := len(a.Records(2)); got != 2 {
+		t.Errorf("Records(2) = %d records, want 2", got)
+	}
+}
+
+func TestAuditorDriftAlarm(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	rec := flightrec.New(64)
+	a := NewAuditor(Options{Window: 16, BandPct: 25, MinSamples: 4})
+	a.SetTelemetry(tel)
+	a.SetRecorder(rec)
+
+	// Three accurate records: inside the band, below MinSamples.
+	for i := 0; i < 3; i++ {
+		feed(a, 0.02)
+	}
+	if rep := a.Stats(); len(rep.Alarms) != 0 {
+		t.Fatalf("alarm before MinSamples: %v", rep.Alarms)
+	}
+
+	// Push the rolling mean past the band: 3×2% + 5×80% → mean 50.75%.
+	for i := 0; i < 5; i++ {
+		feed(a, 0.80)
+	}
+	rep := a.Stats()
+	ts, _ := rep.Term(TermEngineBusy)
+	if !ts.Alarm || len(rep.Alarms) == 0 {
+		t.Fatalf("no drift alarm: %+v", ts)
+	}
+	// feed drifts engine_busy and total identically: both terms latch.
+	if got := tel.Counter("calib.drift_alarms").Value(); got != 2 {
+		t.Errorf("calib.drift_alarms = %d, want 2 (engine_busy + total, latched once each)", got)
+	}
+	if got := tel.Gauge("calib.alarm." + TermEngineBusy).Value(); got != 1 {
+		t.Errorf("calib.alarm.engine_busy gauge = %d, want 1", got)
+	}
+	found := false
+	for _, e := range rec.Window() {
+		if e.Type == flightrec.EvCalibDrift && strings.Contains(e.Note, "term="+TermEngineBusy) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no engine_busy calib-drift event in the flight recorder")
+	}
+
+	// The alarm stays latched while the error persists, without re-firing.
+	feed(a, 0.80)
+	if got := tel.Counter("calib.drift_alarms").Value(); got != 2 {
+		t.Errorf("alarm re-fired: calib.drift_alarms = %d", got)
+	}
+
+	// Flush the window with accurate records: the alarm clears.
+	for i := 0; i < 16; i++ {
+		feed(a, 0.01)
+	}
+	rep = a.Stats()
+	if len(rep.Alarms) != 0 {
+		t.Fatalf("alarm did not clear: %v", rep.Alarms)
+	}
+	if got := tel.Gauge("calib.alarm." + TermEngineBusy).Value(); got != 0 {
+		t.Errorf("calib.alarm.engine_busy gauge = %d after clearing, want 0", got)
+	}
+}
+
+func TestAuditorSkipsDegraded(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	a := NewAuditor(Options{Window: 8})
+	a.SetTelemetry(tel)
+	feed(a, 0.05)
+	r := &Record{
+		Candidates: []Candidate{{Placement: "fpga", Feasible: true,
+			Cost: Cost{EngineBusyNS: 100, TotalNS: 100}}},
+		Chosen: "fpga", Degraded: true, DegradedCause: "engine dropped",
+	}
+	r.SetAuditor(a)
+	r.Finish(Cost{SoftwareNS: 900, TotalNS: 900})
+	rep := a.Stats()
+	if rep.Samples != 1 || rep.Skipped != 1 {
+		t.Fatalf("samples=%d skipped=%d, want 1/1", rep.Samples, rep.Skipped)
+	}
+	if got := tel.Counter("calib.skipped_degraded").Value(); got != 1 {
+		t.Errorf("calib.skipped_degraded = %d, want 1", got)
+	}
+}
+
+func TestNilAuditorSafe(t *testing.T) {
+	var a *Auditor
+	a.Observe(&Record{Executed: true})
+	a.SetTelemetry(nil)
+	a.SetRecorder(nil)
+	if rep := a.Stats(); rep.Samples != 0 {
+		t.Fatal("nil auditor reported samples")
+	}
+	if a.Records(1) != nil {
+		t.Fatal("nil auditor returned records")
+	}
+}

@@ -1,0 +1,152 @@
+package explain
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		pred, act  int64
+		rel, signd float64
+		ok         bool
+	}{
+		{0, 0, 0, 0, false},          // no signal
+		{110, 100, 0.10, 0.10, true}, // over-prediction
+		{90, 100, 0.10, -0.10, true}, // under-prediction
+		{100, 100, 0, 0, true},       // exact
+		{50, 0, 1.0, 1.0, true},      // invented term: scored vs prediction
+		{0, 80, 1.0, -1.0, true},     // missed term entirely
+	}
+	for _, c := range cases {
+		rel, signed, ok := relativeError(c.pred, c.act)
+		if ok != c.ok {
+			t.Errorf("relativeError(%d,%d) ok=%v, want %v", c.pred, c.act, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if math.Abs(rel-c.rel) > 1e-9 || math.Abs(signed-c.signd) > 1e-9 {
+			t.Errorf("relativeError(%d,%d) = (%g,%g), want (%g,%g)",
+				c.pred, c.act, rel, signed, c.rel, c.signd)
+		}
+	}
+}
+
+// mkRecord builds an executed single-candidate record with the given
+// predicted and actual cost vectors.
+func mkRecord(pred, act Cost) *Record {
+	r := &Record{
+		Pattern: "x.*y", Rows: 1000, AvgLen: 64,
+		Candidates: []Candidate{{Placement: "fpga", Feasible: true, Cost: pred}},
+		Chosen:     "fpga", Reason: "test",
+	}
+	r.Finish(act)
+	return r
+}
+
+func TestFinishComputesTermErrors(t *testing.T) {
+	r := mkRecord(
+		Cost{ScanBytes: 100, EngineBusyNS: 110, TotalNS: 110},
+		Cost{ScanBytes: 100, EngineBusyNS: 100, QueueDelayNS: 5, TotalNS: 105},
+	)
+	if !r.Executed || r.Actual == nil {
+		t.Fatal("Finish did not mark the record executed")
+	}
+	e, ok := r.TermError(TermEngineBusy)
+	if !ok || math.Abs(e.SignedErr-0.10) > 1e-9 {
+		t.Fatalf("engine_busy error = %+v ok=%v, want signed +0.10", e, ok)
+	}
+	if e, ok := r.TermError(TermScanBytes); !ok || e.RelErr != 0 {
+		t.Fatalf("scan_bytes error = %+v ok=%v, want exact", e, ok)
+	}
+	// Queue delay was not predicted but happened: full miss.
+	if e, ok := r.TermError(TermQueueDelay); !ok || e.SignedErr != -1.0 {
+		t.Fatalf("queue_delay error = %+v ok=%v, want signed -1.0", e, ok)
+	}
+	// Software is zero on both sides: no signal.
+	if _, ok := r.TermError(TermSoftware); ok {
+		t.Fatal("software term carried signal despite being absent from both sides")
+	}
+}
+
+func TestRecordJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	r1 := mkRecord(Cost{EngineBusyNS: 200, TotalNS: 200}, Cost{EngineBusyNS: 190, TotalNS: 190})
+	r2 := mkRecord(Cost{EngineBusyNS: 200, TotalNS: 200}, Cost{EngineBusyNS: 190, TotalNS: 190})
+	if err := r1.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical records rendered differently:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestLinesAndAnalyzeLines(t *testing.T) {
+	r := mkRecord(
+		Cost{ScanBytes: 1 << 20, QPITransferNS: 161319, EngineBusyNS: 161619, FixedNS: 100800, TotalNS: 262419},
+		Cost{ScanBytes: 1 << 20, QPITransferNS: 161319, EngineBusyNS: 170000, QueueDelayNS: 900, FixedNS: 100800, TotalNS: 271700},
+	)
+	text := strings.Join(r.Lines(), "\n")
+	for _, want := range []string{"pattern: 'x.*y'", "candidate fpga", "chosen: fpga — test"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Lines() missing %q in:\n%s", want, text)
+		}
+	}
+	al := strings.Join(r.AnalyzeLines(), "\n")
+	for _, want := range []string{"predicted", "actual", "error", TermEngineBusy, TermQueueDelay} {
+		if !strings.Contains(al, want) {
+			t.Errorf("AnalyzeLines() missing %q in:\n%s", want, al)
+		}
+	}
+	// Unexecuted records have no analyze section.
+	fresh := &Record{Chosen: "software"}
+	if got := fresh.AnalyzeLines(); got != nil {
+		t.Errorf("unexecuted record produced analyze lines: %v", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	r := &Record{Pattern: "abc"}
+	ctx := WithRecord(context.Background(), r)
+	if got := FromContext(ctx); got != r {
+		t.Fatalf("FromContext = %p, want %p", got, r)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context returned a record: %p", got)
+	}
+	if got := WithRecord(context.Background(), nil); FromContext(got) != nil {
+		t.Fatal("WithRecord(nil) attached a record")
+	}
+}
+
+func TestForceHardware(t *testing.T) {
+	r := &Record{
+		Candidates: []Candidate{
+			{Placement: "fpga", Feasible: false, Reason: "too big"},
+			{Placement: "hybrid", Feasible: true},
+			{Placement: "software", Feasible: true},
+		},
+		Chosen: "software", Reason: "software wins",
+	}
+	r.ForceHardware("operator invoked explicitly")
+	if r.Chosen != "hybrid" || r.Reason != "operator invoked explicitly" {
+		t.Fatalf("ForceHardware chose %q (%q), want hybrid", r.Chosen, r.Reason)
+	}
+	// No feasible hardware plan: the decision stands.
+	soft := &Record{
+		Candidates: []Candidate{{Placement: "software", Feasible: true}},
+		Chosen:     "software", Reason: "only plan",
+	}
+	soft.ForceHardware("ignored")
+	if soft.Chosen != "software" || soft.Reason != "only plan" {
+		t.Fatalf("ForceHardware rewrote an all-software record: %q (%q)", soft.Chosen, soft.Reason)
+	}
+}

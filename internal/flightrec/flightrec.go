@@ -73,6 +73,10 @@ const (
 	// EvJobCancel is a backlogged job aborted before its round was granted
 	// (context cancellation, discard, or runtime shutdown).
 	EvJobCancel
+	// EvCalibDrift is the cost-model calibration auditor's drift alarm: the
+	// rolling prediction error of a cost term left its configured band (Note
+	// names the term and the rolling mean error).
+	EvCalibDrift
 
 	numTypes
 )
@@ -81,6 +85,7 @@ var typeNames = [numTypes]string{
 	"job-submit", "job-exec", "engine-config", "pu-busy", "grant-burst",
 	"phase-switch", "watchdog", "fault", "breaker-trip", "readmit",
 	"degrade", "dump", "job-queue", "job-admit", "job-cancel",
+	"calib-drift",
 }
 
 // String names the type the way the dump format and exporters do.

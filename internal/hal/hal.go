@@ -155,6 +155,9 @@ type HAL struct {
 	tel     *telemetry.Registry
 	inj     *faults.Injector
 	rec     *flightrec.Recorder
+	// queueWait is the per-job backlog-wait histogram (simulated ns),
+	// cached so the hot completion path skips the registry lookup.
+	queueWait *telemetry.Histogram
 
 	mu        sync.Mutex
 	cond      *sync.Cond // wakes the runtime's event loop (backlog/resume/close)
@@ -202,6 +205,7 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	h.health = make([]engineHealth, len(h.engines))
 	h.tel.Gauge("hal.engines.total").Set(int64(len(h.engines)))
 	h.tel.Gauge("hal.engines.healthy").Set(int64(len(h.engines)))
+	h.queueWait = h.tel.Histogram("hal.queue_wait_ns", queueWaitBounds...)
 
 	var err error
 	if h.dsmAddr, err = region.Alloc(shmem.MinSlab); err != nil {
@@ -225,10 +229,18 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 	return h, nil
 }
 
+// queueWaitBounds bucket the backlog wait from "admitted immediately"
+// (≤1 µs) up to a saturated second, one decade per bucket edge pair.
+var queueWaitBounds = []int64{
+	1_000, 10_000, 100_000, 1_000_000, 5_000_000, 10_000_000,
+	50_000_000, 100_000_000, 500_000_000, 1_000_000_000,
+}
+
 // SetTelemetry rebinds the HAL and its engine frontends to reg and
 // re-asserts the engine-health gauges there.
 func (h *HAL) SetTelemetry(reg *telemetry.Registry) {
 	h.tel = reg
+	h.queueWait = reg.Histogram("hal.queue_wait_ns", queueWaitBounds...)
 	for _, e := range h.engines {
 		e.SetTelemetry(reg)
 	}

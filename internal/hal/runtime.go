@@ -107,9 +107,21 @@ func (h *HAL) Dispatch(jobs ...*Job) error {
 		})
 	}
 	h.backlog = append(h.backlog, g)
+	h.publishBacklogLocked()
 	h.cond.Broadcast()
 	h.mu.Unlock()
 	return nil
+}
+
+// publishBacklogLocked exports the backlog's current depth — waiting groups
+// and their job count — as gauges. Caller holds h.mu.
+func (h *HAL) publishBacklogLocked() {
+	njobs := 0
+	for _, g := range h.backlog {
+		njobs += len(g.jobs)
+	}
+	h.tel.Gauge("hal.backlog_groups").Set(int64(len(h.backlog)))
+	h.tel.Gauge("hal.backlog_jobs").Set(int64(njobs))
 }
 
 // Run dispatches jobs as one group and awaits every completion — the
@@ -175,6 +187,7 @@ func (h *HAL) cancelGroup(g *jobGroup) bool {
 		}
 	}
 	h.releaseJobsLocked(g.jobs)
+	h.publishBacklogLocked()
 	h.mu.Unlock()
 	for _, j := range g.jobs {
 		close(j.done)
@@ -258,6 +271,7 @@ func (h *HAL) Close() {
 		victims = append(victims, g.jobs...)
 	}
 	h.releaseJobsLocked(victims)
+	h.publishBacklogLocked()
 	h.cond.Broadcast()
 	h.mu.Unlock()
 	for _, j := range victims {
@@ -320,6 +334,7 @@ func (h *HAL) admitLocked() (queues [][]memmodel.Job, jobs [][]*Job) {
 		admitted++
 		h.backlog = h.backlog[1:]
 	}
+	h.publishBacklogLocked()
 	return queues, jobs
 }
 
@@ -377,6 +392,7 @@ func (h *HAL) runRound(epoch sim.Time, params memmodel.Params, queues [][]memmod
 				LinkBusy: a.busy,
 			}
 			j.finished = true
+			h.queueWait.Observe(int64(j.comp.QueueWait() / sim.Nanosecond))
 			h.scrubStatusLocked(j)
 			if mobs != nil {
 				start, end, ok := mobs.JobWindow(e, k)

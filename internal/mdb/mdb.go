@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"doppiodb/internal/bat"
+	"doppiodb/internal/explain"
 	"doppiodb/internal/invindex"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/shmem"
@@ -173,6 +174,9 @@ type UDFResult struct {
 	// Degraded reports that the hardware path failed and the UDF fell
 	// back to the software operator (correct result, degraded latency).
 	Degraded bool
+	// Decision is the placement decision record with actuals filled in
+	// (EXPLAIN's view), when the UDF produced one.
+	Decision *explain.Record
 }
 
 // UDF is a BAT-level user-defined function over a string column. The

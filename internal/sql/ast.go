@@ -1,7 +1,12 @@
 package sql
 
-// SelectStmt is a parsed SELECT.
+// SelectStmt is a parsed SELECT, optionally prefixed with EXPLAIN
+// [ANALYZE]: Explain asks for the placement decision record instead of the
+// query's rows; Analyze additionally executes the query so the record
+// carries actual figures and per-term prediction error.
 type SelectStmt struct {
+	Explain bool
+	Analyze bool
 	Items   []SelectItem
 	From    TableRef
 	Where   Expr

@@ -3,9 +3,13 @@ package sql
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"doppiodb/internal/explain"
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/telemetry"
@@ -33,10 +37,20 @@ type Engine struct {
 	// rows out). Nil is safe: metrics are recorded into detached
 	// instances and simply not exported.
 	Tel *telemetry.Registry
+	// ID labels this engine's sessions in pprof profiles
+	// (doppio.session); NewEngine assigns s1, s2, ... per process.
+	ID string
+
+	queries atomic.Int64
 }
 
+// engineSeq numbers engines process-wide for the pprof session label.
+var engineSeq atomic.Int64
+
 // NewEngine wraps a database.
-func NewEngine(db *mdb.DB) *Engine { return &Engine{DB: db, Tel: db.Tel} }
+func NewEngine(db *mdb.DB) *Engine {
+	return &Engine{DB: db, Tel: db.Tel, ID: "s" + strconv.FormatInt(engineSeq.Add(1), 10)}
+}
 
 // Result is a query result with work accounting.
 type Result struct {
@@ -53,6 +67,10 @@ type Result struct {
 	// operators, with the HUDF's hardware sub-tree adopted when the query
 	// offloaded).
 	Trace *telemetry.Span
+	// Decision is the placement decision record (EXPLAIN's view) when the
+	// query carried a hardware-eligible predicate: candidate plans,
+	// predicted cost terms, and — once executed — per-term error.
+	Decision *explain.Record
 }
 
 // Query parses and executes one SELECT.
@@ -76,7 +94,15 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 		e.Tel.Counter("sql.parse_errors").Inc()
 		return nil, err
 	}
-	return e.exec(ctx, stmt, root)
+	// Label the serving goroutine so /debug/pprof profiles attribute
+	// samples per session and query (core adds the placement label).
+	qid := strconv.FormatInt(e.queries.Add(1), 10)
+	var res *Result
+	pprof.Do(ctx, pprof.Labels("doppio.session", e.ID, "doppio.query", qid),
+		func(ctx context.Context) {
+			res, err = e.exec(ctx, stmt, root)
+		})
+	return res, err
 }
 
 // Exec executes a parsed statement.
@@ -86,6 +112,9 @@ func (e *Engine) Exec(stmt *SelectStmt) (*Result, error) {
 
 func (e *Engine) exec(ctx context.Context, stmt *SelectStmt, root *telemetry.Span) (*Result, error) {
 	e.Tel.Counter("sql.queries").Inc()
+	if stmt.Explain {
+		return e.explainQuery(ctx, stmt, root)
+	}
 	if res, ok, err := e.tryFastCount(ctx, stmt, root); err != nil || ok {
 		if err != nil {
 			return nil, err
@@ -198,21 +227,30 @@ func (e *Engine) tryFastCount(ctx context.Context, stmt *SelectStmt, root *telem
 				return nil, false, nil
 			}
 			// Cost-based placement (§9): route to the hardware
-			// operator when the advisor predicts a win.
+			// operator when the advisor predicts a win. The decision
+			// record travels down the context so the core layer fills
+			// its actuals instead of building a second record.
+			var rec *explain.Record
 			if e.Advisor != nil {
-				if _, hasUDF := e.DB.UDF("regexp_fpga"); hasUDF &&
-					e.Advisor.AdviseOffload(pat, tbl.Rows(), avgStringLen(tbl, ref.Column)) {
-					out, err := e.DB.CallUDF(ctx, "regexp_fpga", tbl, ref.Column, pat)
-					if err != nil {
-						return nil, false, err
-					}
-					n := 0
-					for i := 0; i < out.Result.Count(); i++ {
-						if out.Result.Get(i) != 0 {
-							n++
+				if _, hasUDF := e.DB.UDF("regexp_fpga"); hasUDF {
+					var offload bool
+					rec, offload = e.adviseRecord(pat, tbl.Rows(), avgStringLen(tbl, ref.Column))
+					if offload {
+						out, err := e.DB.CallUDF(explain.WithRecord(ctx, rec),
+							"regexp_fpga", tbl, ref.Column, pat)
+						if err != nil {
+							return nil, false, err
 						}
+						n := 0
+						for i := 0; i < out.Result.Count(); i++ {
+							if out.Result.Get(i) != 0 {
+								n++
+							}
+						}
+						res := mk(n, out.Work, "regexp->udf", out)
+						res.Decision = out.Decision
+						return res, true, nil
 					}
-					return mk(n, out.Work, "regexp->udf", out), true, nil
 				}
 			}
 			sel, err := scan(func() (*mdb.Selection, error) {
@@ -221,7 +259,16 @@ func (e *Engine) tryFastCount(ctx context.Context, stmt *SelectStmt, root *telem
 			if err != nil {
 				return nil, false, err
 			}
-			return mk(sel.Count(), sel.Work, "regexp", nil), true, nil
+			if rec != nil {
+				// The predicate stayed in software: the realized cost is
+				// the scan's own work, priced by the calibrated model.
+				if ex, ok := e.Advisor.(Explainer); ok {
+					ex.FinishSoftware(rec, sel.Work)
+				}
+			}
+			res := mk(sel.Count(), sel.Work, "regexp", nil)
+			res.Decision = rec
+			return res, true, nil
 		case "CONTAINS":
 			col, q, err := containsArgs(w, tbl)
 			if err != nil {
@@ -268,7 +315,9 @@ func (e *Engine) tryFastCount(ctx context.Context, stmt *SelectStmt, root *telem
 		if zero { // `= 0`: non-matching rows
 			n = out.Result.Count() - n
 		}
-		return mk(n, out.Work, "udf", out), true, nil
+		res := mk(n, out.Work, "udf", out)
+		res.Decision = out.Decision
+		return res, true, nil
 	}
 	return nil, false, nil
 }

@@ -1,0 +1,164 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"doppiodb/internal/config"
+	"doppiodb/internal/core"
+	"doppiodb/internal/explain"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/telemetry"
+	"doppiodb/internal/workload"
+)
+
+func TestParseExplainFlags(t *testing.T) {
+	cases := []struct {
+		q                string
+		explain, analyze bool
+	}{
+		{`SELECT count(*) FROM t WHERE REGEXP_LIKE(c, 'x')`, false, false},
+		{`EXPLAIN SELECT count(*) FROM t WHERE REGEXP_LIKE(c, 'x')`, true, false},
+		{`EXPLAIN ANALYZE SELECT count(*) FROM t WHERE REGEXP_LIKE(c, 'x')`, true, true},
+	}
+	for _, c := range cases {
+		sel, err := Parse(c.q)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", c.q, err)
+		}
+		if sel.Explain != c.explain || sel.Analyze != c.analyze {
+			t.Errorf("Parse(%s): explain=%v analyze=%v, want %v/%v",
+				c.q, sel.Explain, sel.Analyze, c.explain, c.analyze)
+		}
+	}
+	if _, err := Parse(`ANALYZE SELECT count(*) FROM t`); err == nil {
+		t.Error("bare ANALYZE parsed")
+	}
+}
+
+// hybridEngine builds a SQL engine over a core system whose device is too
+// small for the hybrid query QH, so the cost model picks the hybrid split.
+func hybridEngine(t *testing.T) (*Engine, *core.System) {
+	t.Helper()
+	dep := fpga.DefaultDeployment()
+	dep.Limits = config.Limits{MaxStates: 8, MaxChars: 24}
+	s, err := core.NewSystem(core.Options{
+		RegionBytes: 1 << 30,
+		Deployment:  &dep,
+		Telemetry:   telemetry.NewRegistry(),
+		Auditor:     explain.NewAuditor(explain.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := workload.NewGenerator(77, 64).Table(20_000, workload.HitQH, 0.2)
+	if _, err := s.DB.LoadAddressTable("address_table", rows); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s.DB)
+	e.Advisor = s
+	return e, s
+}
+
+// planText joins the single-column rows of an EXPLAIN result.
+func planText(t *testing.T, res *Result) string {
+	t.Helper()
+	if len(res.Cols) != 1 || res.Cols[0] != "plan" {
+		t.Fatalf("cols = %v, want [plan]", res.Cols)
+	}
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r[0].(string))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestExplainSelect(t *testing.T) {
+	e, _ := hybridEngine(t)
+	res, err := e.Query(`EXPLAIN SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, '` + workload.QH + `')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastPath != "explain" {
+		t.Errorf("fast path = %q, want explain", res.FastPath)
+	}
+	text := planText(t, res)
+	for _, want := range []string{
+		"candidate fpga", "infeasible",
+		"candidate hybrid", "candidate software",
+		"chosen: hybrid",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "actual") {
+		t.Errorf("plain EXPLAIN printed actuals:\n%s", text)
+	}
+	if res.Decision == nil || res.Decision.Executed {
+		t.Errorf("plain EXPLAIN decision = %+v, want unexecuted record", res.Decision)
+	}
+}
+
+func TestExplainAnalyzeSelect(t *testing.T) {
+	e, s := hybridEngine(t)
+	res, err := e.Query(`EXPLAIN ANALYZE SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, '` + workload.QH + `')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := planText(t, res)
+	for _, want := range []string{
+		"chosen: hybrid", "predicted", "actual", "error",
+		explain.TermEngineBusy, explain.TermQPITransfer, explain.TermScanBytes,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, text)
+		}
+	}
+	rec := res.Decision
+	if rec == nil || !rec.Executed || rec.Actual == nil {
+		t.Fatalf("decision record not executed: %+v", rec)
+	}
+	if len(rec.Errors) == 0 {
+		t.Error("no per-term prediction errors")
+	}
+	// The executed query feeds the system's calibration auditor.
+	if rep := s.Audit.Stats(); rep.Samples != 1 {
+		t.Errorf("auditor retained %d records, want 1", rep.Samples)
+	}
+}
+
+func TestExplainAnalyzeSoftwarePath(t *testing.T) {
+	// A predicate the cost model keeps in software still explains: the
+	// actual side is the calibrated scan cost of the work performed. On the
+	// constrained device this alternation exceeds the character matchers and
+	// has no `.*` split point, so software is the only feasible plan.
+	e, _ := hybridEngine(t)
+	res, err := e.Query(`EXPLAIN ANALYZE SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, '(Strasse|Strasze|Strassen|Strassler)')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Decision
+	if rec == nil || !rec.Executed {
+		t.Fatalf("software-path decision not executed: %+v", rec)
+	}
+	if rec.Offloads() {
+		t.Fatalf("trivial literal offloaded: chosen=%q", rec.Chosen)
+	}
+	if rec.Actual.SoftwareNS <= 0 {
+		t.Errorf("software actuals missing: %+v", rec.Actual)
+	}
+}
+
+func TestExplainWithoutAdvisor(t *testing.T) {
+	e, _ := addressEngine(t, 1_000, workload.HitQ2, 0.2)
+	res, err := e.Query(`EXPLAIN SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, 'Strasse')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := planText(t, res)
+	if !strings.Contains(text, "no decision record") {
+		t.Errorf("advisor-less EXPLAIN output:\n%s", text)
+	}
+}

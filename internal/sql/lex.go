@@ -39,7 +39,7 @@ var keywords = map[string]bool{
 	"LIKE": true, "ILIKE": true, "COUNT": true, "JOIN": true, "LEFT": true,
 	"OUTER": true, "INNER": true, "ON": true, "DESC": true, "ASC": true,
 	"NULL": true, "IS": true, "LIMIT": true, "DISTINCT": true,
-	"HAVING": true,
+	"HAVING": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // Error is a SQL front-end error with a byte offset.

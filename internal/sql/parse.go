@@ -12,10 +12,14 @@ func Parse(src string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.acceptKw("EXPLAIN")
+	analyze := explain && p.acceptKw("ANALYZE")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
+	stmt.Analyze = analyze
 	p.acceptSym(";")
 	if p.peek().kind != tkEOF {
 		return nil, errf(p.peek().pos, "unexpected %q after statement", p.peek().text)
