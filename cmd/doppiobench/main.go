@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	doppiobench [-experiment all|table1|fig8|...|fig15|throughput]
+//	doppiobench [-experiment all|table1|fig8|...|fig15|throughput|soak]
 //	            [-sample N] [-seed S] [-selectivity F]
 //	            [-clients N] [-measured-rows N]
 //	            [-json] [-metrics-out FILE.json] [-trace-out FILE.json]
@@ -146,6 +146,7 @@ func main() {
 		}},
 		{"fig15", func() error { r, err := experiments.Figure15(cfg); render(r, err, out); return err }},
 		{"throughput", func() error { r, err := experiments.Throughput(cfg); render(r, err, out); return err }},
+		{"soak", func() error { r, err := experiments.Soak(cfg); render(r, err, out); return err }},
 		{"platform", func() error { r, err := experiments.Platform(cfg); render(r, err, out); return err }},
 		{"nextgen", func() error { r, err := experiments.NextGen(cfg); render(r, err, out); return err }},
 		{"ablations", func() error {

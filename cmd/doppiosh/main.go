@@ -48,6 +48,7 @@ import (
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/mdb"
+	"doppiodb/internal/sim"
 	"doppiodb/internal/sql"
 	"doppiodb/internal/telemetry"
 	"doppiodb/internal/workload"
@@ -69,6 +70,7 @@ func main() {
 		eval    = flag.String("e", "", "execute these statements and exit")
 		monAddr = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
 		fspec   = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
+		budget  = flag.Duration("query-budget", 0, "per-query simulated deadline (0: none); over-budget queries fail with a deadline error instead of queueing")
 	)
 	flag.Parse()
 
@@ -113,6 +115,10 @@ func main() {
 		loadTPCH(sys.DB, *tpch)
 	}
 	engine := sql.NewEngine(sys.DB)
+	if *budget > 0 {
+		engine.QueryBudget = sim.FromDuration(*budget)
+		fmt.Fprintf(os.Stderr, "per-query budget: %v (simulated)\n", *budget)
+	}
 	if *auto {
 		engine.Advisor = sys
 		fmt.Fprintln(os.Stderr, "cost-based hardware offload enabled")
@@ -229,7 +235,8 @@ func dumpRecorder(rec *flightrec.Recorder, file string) {
 // printHealth renders the robustness layer's view of the hardware: the AAL
 // handshake, the per-engine circuit breaker, and the fault/recovery counters.
 func printHealth(sys *core.System) {
-	fmt.Printf("AFU present: %v\n\n", sys.HAL.AFUPresent())
+	fmt.Printf("AFU present: %v\n", sys.HAL.AFUPresent())
+	fmt.Printf("runtime state: %s   fabric resets: %d\n\n", sys.HAL.State(), sys.HAL.FabricResets())
 	fmt.Println("engine  state        consec-fails  jobs      fails  readmissions")
 	for _, h := range sys.HAL.Health() {
 		state := "healthy"

@@ -50,6 +50,10 @@ const (
 	PhaseQueue     = "Queue wait"
 	PhaseHardware  = "Hardware Processing"
 	PhaseSoftware  = "Hybrid post-processing"
+	// PhaseRetry is the simulated backoff accrued by query-level retries of
+	// transiently failed hardware attempts. Absent from clean runs, so their
+	// breakdowns stay bit-identical to the pre-retry runtime.
+	PhaseRetry = "Retry backoff"
 )
 
 // Options configure a System.
@@ -74,6 +78,9 @@ type Options struct {
 	// Auditor receives every finished decision record for cost-model
 	// calibration. Nil selects the process-wide default auditor.
 	Auditor *explain.Auditor
+	// Retry overrides the per-query hardware retry budget (nil selects
+	// DefaultRetryPolicy; &RetryPolicy{} disables query-level retry).
+	Retry *RetryPolicy
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -89,6 +96,9 @@ type System struct {
 	Rec *flightrec.Recorder
 	// Audit is the calibration auditor every decision record feeds.
 	Audit *explain.Auditor
+	// Retry is the per-query hardware retry budget Exec applies to
+	// transient faults before degrading to software.
+	Retry RetryPolicy
 }
 
 // NewSystem boots the platform: programs the FPGA, maps the shared region,
@@ -138,6 +148,10 @@ func NewSystem(opts Options) (*System, error) {
 		Tel:    tel,
 		Rec:    rec,
 		Audit:  aud,
+		Retry:  DefaultRetryPolicy(),
+	}
+	if opts.Retry != nil {
+		s.Retry = *opts.Retry
 	}
 	// Bind every layer to the same registry: allocator gauges, HAL/engine
 	// counters, and the operator metrics of the column store.
@@ -278,28 +292,62 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 		rec.ForceHardware("hardware operator invoked explicitly; cost model preferred software")
 	}
 	var res *Result
+	var retries int
+	var backoff sim.Time
 	// Label the serving goroutine so /debug/pprof profiles attribute
 	// samples per placement (the SQL layer adds session and query ids).
 	pprof.Do(ctx, pprof.Labels("doppio.placement", placement), func(ctx context.Context) {
-		if placement == "fpga" {
-			res, err = s.execDirect(ctx, col, prog, pattern, root)
-		} else {
+		var hwPat, swPat string
+		if placement != "fpga" {
 			split := root.StartChild("plan-split")
-			hwPat, swPat, sErr := SplitPattern(pattern, lim, opts)
+			var sErr error
+			hwPat, swPat, sErr = SplitPattern(pattern, lim, opts)
 			split.End()
 			if sErr != nil {
 				err = sErr
 				return
 			}
 			s.Tel.Counter("core.hybrid_queries").Inc()
-			res, err = s.execHybrid(ctx, col, hwPat, swPat, opts, root)
+		}
+		attempt := func() (*Result, error) {
+			if placement == "fpga" {
+				return s.execDirect(ctx, col, prog, pattern, root)
+			}
+			return s.execHybrid(ctx, col, hwPat, swPat, opts, root)
+		}
+		res, err = attempt()
+		// Query-level retry: a transient fault (watchdog timeout, handshake
+		// loss, single-engine drop) may heal between attempts — readmission
+		// probes run, wedged engines recover — so re-run the hardware attempt
+		// under the per-query budget, charging the exponential backoff (plus
+		// deterministic seeded jitter) as simulated PhaseRetry time. Permanent
+		// faults and admission errors (ErrOverload, ErrDeadlineExceeded) skip
+		// straight past this loop.
+		for err != nil && hal.IsTransient(err) &&
+			retries < s.Retry.MaxRetries && ctx.Err() == nil {
+			d := s.Retry.Delay(retries, pattern)
+			retries++
+			backoff += d
+			s.Tel.Counter("core.retry.attempts").Inc()
+			s.Rec.Record(flightrec.Event{
+				Type:   flightrec.EvRetry,
+				Sim:    s.HAL.SimEpoch(),
+				Engine: -1,
+				Unit:   -1,
+				Arg:    int64(d / sim.Nanosecond),
+				Note:   err.Error(),
+			})
+			res, err = attempt()
+		}
+		if retries > 0 && err == nil {
+			s.Tel.Counter("core.retry.recovered").Inc()
 		}
 		if err != nil && hal.IsFault(err) {
-			// The hardware path is wedged beyond the HAL's retries (the
-			// partially submitted jobs were already discarded): degrade to the
-			// software operator. The flight recorder marks the degradation and
-			// dumps its window — the black-box forensics of what the hardware
-			// did leading up to it.
+			// The hardware path is wedged beyond the HAL's and the query's
+			// retries (the partially submitted jobs were already discarded):
+			// degrade to the software operator. The flight recorder marks the
+			// degradation and dumps its window — the black-box forensics of
+			// what the hardware did leading up to it.
 			s.Tel.Counter("core.fallback.software").Inc()
 			s.Rec.Record(flightrec.Event{
 				Type:   flightrec.EvDegrade,
@@ -314,6 +362,13 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	})
 	if err != nil {
 		return nil, err
+	}
+	if backoff > 0 {
+		res.Breakdown.Add(PhaseRetry, backoff)
+	}
+	if rec != nil {
+		rec.Retries = retries
+		rec.RetryBackoffNS = int64(backoff / sim.Nanosecond)
 	}
 	root.End()
 	root.AddSim(res.Total())
@@ -384,8 +439,12 @@ func (s *System) execDirect(ctx context.Context, col *bat.Strings, prog *token.P
 
 	// Hand the group to the device runtime and await each partition's
 	// completion record. Attribution is per-job, so everything below is
-	// this query's own traffic even when a round is shared.
-	if err := s.HAL.Dispatch(jobs...); err != nil {
+	// this query's own traffic even when a round is shared. A dispatch the
+	// admission layer refuses (shed, or ETA over the context's simulated
+	// budget) must release the submitted partitions like any other failed
+	// submit, or their reservations leak.
+	if err := s.HAL.DispatchContext(ctx, jobs...); err != nil {
+		s.HAL.Discard(jobs...)
 		return nil, err
 	}
 	var hw HWStats

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"doppiodb/internal/faults"
+	"doppiodb/internal/fpga"
+	"doppiodb/internal/sim"
+	"doppiodb/internal/telemetry"
+	"doppiodb/internal/token"
+	"doppiodb/internal/workload"
+)
+
+// newSingleEngineSystem boots a one-engine system so transient faults have
+// no healthy engine to fail over to — the query-level retry is the only
+// thing standing between a wedge and the software fallback.
+func newSingleEngineSystem(t *testing.T, in *faults.Injector) *System {
+	t.Helper()
+	dep := fpga.DefaultDeployment()
+	dep.Engines = 1
+	s, err := NewSystem(Options{
+		Deployment:  &dep,
+		RegionBytes: 1 << 30,
+		Telemetry:   telemetry.NewRegistry(),
+		Faults:      in,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRetryRecoversTransientDrop wedges the sole engine after one job with
+// recovery after two readmission probes: the first hardware attempt fails
+// transiently, the query-level retry re-attempts, the readmission probe
+// succeeds, and the query completes on hardware — not degraded — with the
+// retry visible in the decision record and charged to the breakdown.
+func TestRetryRecoversTransientDrop(t *testing.T) {
+	in := faults.New(faults.Options{DropEnabled: true, DropEngine: 0, DropAfter: 1, DropRecover: 2})
+	s := newSingleEngineSystem(t, in)
+	tbl, hits := loadTable(t, s, 5_000, workload.HitQ2, 0.2)
+	col, _ := tbl.Column("address_string")
+
+	// Query 1 rides the engine's one-job grace and succeeds.
+	if _, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{}); err != nil {
+		t.Fatalf("warm query: %v", err)
+	}
+	// Query 2 hits the wedged engine: the HAL's submit retries exhaust,
+	// the query-level retry re-attempts, and the recovery probe readmits.
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{})
+	if err != nil {
+		t.Fatalf("retried query: %v", err)
+	}
+	if res.Degraded {
+		t.Fatalf("query degraded despite recoverable fault: %s", res.DegradedCause)
+	}
+	if res.MatchCount != hits {
+		t.Errorf("matched %d, want %d", res.MatchCount, hits)
+	}
+	if got := s.Tel.Counter("core.retry.recovered").Value(); got != 1 {
+		t.Errorf("core.retry.recovered = %d, want 1", got)
+	}
+	attempts := s.Tel.Counter("core.retry.attempts").Value()
+	if attempts < 1 || attempts > int64(s.Retry.MaxRetries) {
+		t.Errorf("core.retry.attempts = %d, want 1..%d", attempts, s.Retry.MaxRetries)
+	}
+	if res.Decision == nil || int64(res.Decision.Retries) != attempts {
+		t.Errorf("decision retries = %+v, want %d", res.Decision, attempts)
+	}
+	if res.Decision.RetryBackoffNS <= 0 {
+		t.Error("decision records no retry backoff")
+	}
+	if res.Breakdown.Get(PhaseRetry) <= 0 {
+		t.Error("retry backoff not charged to the breakdown")
+	}
+	if got := s.Tel.Counter("core.fallback.software").Value(); got != 0 {
+		t.Errorf("software fallback fired %d times on a recovered query", got)
+	}
+}
+
+// TestRetryThenDegradeMatchesOracle wedges every done bit permanently: the
+// retry budget burns down (exactly MaxRetries attempts), the query degrades
+// to software, and the degraded result still matches the oracle row for
+// row with the retries on the record.
+func TestRetryThenDegradeMatchesOracle(t *testing.T) {
+	in := faults.New(faults.Options{Seed: 3, StuckDone: 1})
+	s := newFaultySystem(t, in)
+	tbl, hits := loadTable(t, s, 5_000, workload.HitQ2, 0.2)
+	col, _ := tbl.Column("address_string")
+
+	res, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{})
+	if err != nil {
+		t.Fatalf("Exec did not degrade: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("query not degraded under a permanent wedge")
+	}
+	if res.MatchCount != hits {
+		t.Errorf("degraded matched %d, want %d", res.MatchCount, hits)
+	}
+	prog, _ := token.CompilePattern(workload.Q2, token.Options{})
+	for i := 0; i < col.Strs.Count(); i++ {
+		if got, want := res.Matches.Get(i), uint16(prog.Match(col.Strs.Get(i))); got != want {
+			t.Fatalf("row %d: degraded=%d oracle=%d", i, got, want)
+		}
+	}
+	if got := s.Tel.Counter("core.retry.attempts").Value(); got != int64(s.Retry.MaxRetries) {
+		t.Errorf("core.retry.attempts = %d, want the full budget %d", got, s.Retry.MaxRetries)
+	}
+	if got := s.Tel.Counter("core.fallback.software").Value(); got != 1 {
+		t.Errorf("core.fallback.software = %d, want 1", got)
+	}
+	if res.Decision == nil || res.Decision.Retries != s.Retry.MaxRetries {
+		t.Errorf("decision retries = %+v, want %d", res.Decision, s.Retry.MaxRetries)
+	}
+	if res.Breakdown.Get(PhaseRetry) <= 0 {
+		t.Error("exhausted retries charged no backoff")
+	}
+}
+
+// TestRetryDelayDeterministicJitter pins the Delay function: exponential
+// base, bounded jitter, and a pure function of (seed, key, attempt).
+func TestRetryDelayDeterministicJitter(t *testing.T) {
+	p := DefaultRetryPolicy()
+	for attempt := 0; attempt < 3; attempt++ {
+		base := p.Backoff << uint(attempt)
+		d1 := p.Delay(attempt, "Strasse")
+		d2 := p.Delay(attempt, "Strasse")
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < base || d1 > base+base/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d1, base, base+base/2)
+		}
+	}
+	if p.Delay(0, "Strasse") == p.Delay(0, "Gasse") {
+		t.Error("jitter ignores the query key")
+	}
+	if (RetryPolicy{}).Delay(0, "x") != 0 {
+		t.Error("zero policy must not delay")
+	}
+}
+
+// TestCleanRunUnaffectedByRetryLayer anchors determinism: on a healthy
+// system the retry machinery must be invisible — no counters, no PhaseRetry
+// in the breakdown, no retries on the record, and two identical runs give
+// bit-identical simulated totals.
+func TestCleanRunUnaffectedByRetryLayer(t *testing.T) {
+	run := func() (*Result, *System) {
+		s, err := NewSystem(Options{
+			RegionBytes: 1 << 30,
+			Telemetry:   telemetry.NewRegistry(),
+			Faults:      faults.New(faults.Options{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, _ := loadTable(t, s, 5_000, workload.HitQ2, 0.2)
+		col, _ := tbl.Column("address_string")
+		res, err := s.Exec(context.Background(), col.Strs, workload.Q2, token.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	defer s1.Close()
+	defer s2.Close()
+	for _, s := range []*System{s1, s2} {
+		if got := s.Tel.Counter("core.retry.attempts").Value(); got != 0 {
+			t.Errorf("clean run recorded %d retry attempts", got)
+		}
+	}
+	if d := r1.Breakdown.Get(PhaseRetry); d != sim.Time(0) {
+		t.Errorf("clean run charged %v of retry backoff", d)
+	}
+	if r1.Decision != nil && r1.Decision.Retries != 0 {
+		t.Errorf("clean run recorded retries: %d", r1.Decision.Retries)
+	}
+	if r1.Total() != r2.Total() {
+		t.Errorf("clean runs not bit-identical: %v vs %v", r1.Total(), r2.Total())
+	}
+}

@@ -37,6 +37,9 @@ import (
 type HealthSource interface {
 	AFUPresent() bool
 	Health() []hal.EngineHealth
+	// State is the runtime's overload/recovery state machine verdict:
+	// "ok", "overloaded", "degraded", or "resetting".
+	State() string
 }
 
 // Config wires the server to the process's observability state. Nil fields
@@ -116,7 +119,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // healthDoc is /health's wire form.
 type healthDoc struct {
-	Status     string             `json:"status"` // "ok" or "degraded"
+	Status     string             `json:"status"`          // "ok" or "degraded"
+	State      string             `json:"state,omitempty"` // runtime state machine: ok/overloaded/degraded/resetting
 	AFUPresent bool               `json:"afu_present"`
 	Engines    []engineHealthJSON `json:"engines,omitempty"`
 	Counters   hal.HealthCounters `json:"counters"`
@@ -140,8 +144,10 @@ type recorderStatusJSON struct {
 }
 
 // handleHealth serves the engine-health document. The HTTP status mirrors
-// the verdict: 200 while every engine is admitted, 503 when quarantines or
-// a lost handshake degrade the system.
+// the verdict: 200 while every engine is admitted, 503 when quarantines, a
+// lost handshake, or an in-flight fabric reset degrade the system. The
+// "overloaded" state stays 200 — a saturated backlog is load, not damage —
+// but is reported so load balancers can steer around the instance.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	doc := healthDoc{
 		Status:   "ok",
@@ -155,6 +161,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Health != nil {
 		doc.AFUPresent = s.cfg.Health.AFUPresent()
+		doc.State = s.cfg.Health.State()
+		if doc.State == "degraded" || doc.State == "resetting" {
+			doc.Status = "degraded"
+		}
 		for _, e := range s.cfg.Health.Health() {
 			doc.Engines = append(doc.Engines, engineHealthJSON{
 				Engine:       e.Engine,

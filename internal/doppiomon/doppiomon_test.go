@@ -164,6 +164,7 @@ func TestHealthEndpoint(t *testing.T) {
 	}
 	var doc struct {
 		Status     string `json:"status"`
+		State      string `json:"state"`
 		AFUPresent bool   `json:"afu_present"`
 		Engines    []struct {
 			Engine      int   `json:"engine"`
@@ -180,6 +181,9 @@ func TestHealthEndpoint(t *testing.T) {
 	}
 	if doc.Status != "ok" || !doc.AFUPresent {
 		t.Fatalf("healthy system reported %+v", doc)
+	}
+	if doc.State != "ok" {
+		t.Fatalf("idle healthy system state = %q, want ok", doc.State)
 	}
 	if len(doc.Engines) == 0 {
 		t.Fatal("no engines in /health")

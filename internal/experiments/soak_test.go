@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSoakLedgerBalances runs the full chaos soak and checks its hard
+// invariants: every submitted query is accounted for in exactly one bucket,
+// nothing wedges, nothing fails unclassified, the backlog respects its cap,
+// and the system's goroutines unwind after Close.
+func TestSoakLedgerBalances(t *testing.T) {
+	r, err := Soak(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	t.Logf("\n%s", buf.String())
+
+	if !r.Balanced() {
+		t.Errorf("ledger unbalanced: %d+%d+%d+%d != %d (stuck %d)",
+			r.Completed, r.Degraded, r.Shed, r.Failed, r.Submitted, r.Stuck)
+	}
+	if r.Stuck != 0 {
+		t.Errorf("stuck queries: %d", r.Stuck)
+	}
+	if r.Failed != 0 {
+		t.Errorf("unclassified failures: %d", r.Failed)
+	}
+	if r.Completed == 0 {
+		t.Error("no query completed under the soak faults")
+	}
+	if r.BacklogPeakGroups > r.BacklogCapGroups {
+		t.Errorf("backlog peak %d exceeds cap %d", r.BacklogPeakGroups, r.BacklogCapGroups)
+	}
+	if r.GoroutinesAfter > r.GoroutinesBefore {
+		t.Errorf("goroutine leak: %d before, %d after close",
+			r.GoroutinesBefore, r.GoroutinesAfter)
+	}
+	if r.FinalState != "ok" && r.FinalState != "degraded" {
+		t.Errorf("final state = %q", r.FinalState)
+	}
+	if !strings.Contains(buf.String(), "BALANCED") {
+		t.Error("transcript does not show the ledger verdict")
+	}
+}

@@ -135,6 +135,11 @@ type Record struct {
 	// so the auditor skips it.
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradedCause string `json:"degraded_cause,omitempty"`
+	// Retries counts the query-level hardware re-attempts the robustness
+	// layer took after transient faults; RetryBackoffNS is the simulated
+	// backoff they accrued. Zero on clean runs.
+	Retries        int   `json:"retries,omitempty"`
+	RetryBackoffNS int64 `json:"retry_backoff_ns,omitempty"`
 	// Actual is the measured cost vector (nil before execution).
 	Actual *Cost `json:"actual,omitempty"`
 	// Errors compares predicted vs actual per term (terms absent from both
@@ -328,6 +333,10 @@ func (r *Record) AnalyzeLines() []string {
 			errs = fmtPct(e.SignedErr)
 		}
 		out = append(out, fmt.Sprintf("%-13s %14s %14s %9s", term, ps, as, errs))
+	}
+	if r.Retries > 0 {
+		out = append(out, fmt.Sprintf("retries: %d hardware re-attempt(s), %s backoff",
+			r.Retries, fmtNS(r.RetryBackoffNS)))
 	}
 	if r.Degraded {
 		out = append(out, "degraded: software fallback ("+r.DegradedCause+")")

@@ -77,6 +77,20 @@ const (
 	// rolling prediction error of a cost term left its configured band (Note
 	// names the term and the rolling mean error).
 	EvCalibDrift
+	// EvShed is the admission layer rejecting (or a blocked dispatcher
+	// abandoning) a group because the backlog sat at a configured cap; Arg
+	// is the group's job count.
+	EvShed
+	// EvDeadline is the deadline machinery acting: a group refused at
+	// admission (cost-model ETA over budget) or aborted overdue at a round
+	// boundary; Arg carries the ETA or the overshoot in simulated ns.
+	EvDeadline
+	// EvRetry is the query layer re-running a transiently failed hardware
+	// query after a simulated backoff; Arg is the backoff in simulated ns.
+	EvRetry
+	// EvFabricReset is the full device reset after a quorum of engine
+	// breakers latched: re-handshake, status scrub, breaker re-arm.
+	EvFabricReset
 
 	numTypes
 )
@@ -85,7 +99,7 @@ var typeNames = [numTypes]string{
 	"job-submit", "job-exec", "engine-config", "pu-busy", "grant-burst",
 	"phase-switch", "watchdog", "fault", "breaker-trip", "readmit",
 	"degrade", "dump", "job-queue", "job-admit", "job-cancel",
-	"calib-drift",
+	"calib-drift", "shed", "deadline", "retry", "fabric-reset",
 }
 
 // String names the type the way the dump format and exporters do.

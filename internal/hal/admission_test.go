@@ -1,0 +1,300 @@
+package hal
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"doppiodb/internal/faults"
+	"doppiodb/internal/sim"
+	"doppiodb/internal/telemetry"
+)
+
+// reg installs a private registry on an existing HAL so counter assertions
+// don't race other tests through the process default.
+func privateReg(h *HAL) *telemetry.Registry {
+	r := telemetry.NewRegistry()
+	h.SetTelemetry(r)
+	return r
+}
+
+// TestAdmissionShedAtCap fills the paused backlog to the group cap and
+// checks the next dispatch is refused with ErrOverload while earlier groups
+// survive and complete once the device resumes.
+func TestAdmissionShedAtCap(t *testing.T) {
+	h, region := newHAL(t)
+	reg := privateReg(h)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	h.SetAdmission(AdmissionLimits{MaxGroups: 2, Policy: PolicyShed})
+	h.Pause()
+	var admitted []*Job
+	for i := 0; i < 2; i++ {
+		j, err := h.Submit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Dispatch(j); err != nil {
+			t.Fatal(err)
+		}
+		admitted = append(admitted, j)
+	}
+	over, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(over); !errors.Is(err, ErrOverload) {
+		t.Fatalf("over-cap dispatch err = %v, want ErrOverload", err)
+	}
+	if got := reg.Counter("hal.admission.shed").Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	h.Discard(over)
+	h.Resume()
+	for i, j := range admitted {
+		if _, err := j.Await(context.Background()); err != nil {
+			t.Fatalf("await admitted %d: %v", i, err)
+		}
+	}
+	// Byte and job caps shed too.
+	h.SetAdmission(AdmissionLimits{MaxBytes: 1, Policy: PolicyShed})
+	h.Pause()
+	a, _ := h.Submit(p)
+	b, _ := h.Submit(p)
+	if err := h.Dispatch(a); !errors.Is(err, ErrOverload) {
+		t.Fatalf("byte-cap dispatch err = %v", err)
+	}
+	h.SetAdmission(AdmissionLimits{MaxJobs: 1, Policy: PolicyShed})
+	if err := h.Dispatch(a, b); !errors.Is(err, ErrOverload) {
+		t.Fatalf("job-cap dispatch err = %v", err)
+	}
+	h.Discard(a, b)
+	h.Resume()
+	h.Close()
+}
+
+// TestAdmissionBlockBackpressure parks a dispatcher at the cap instead of
+// shedding; draining the backlog must wake it and both groups complete.
+func TestAdmissionBlockBackpressure(t *testing.T) {
+	h, region := newHAL(t)
+	reg := privateReg(h)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	h.SetAdmission(AdmissionLimits{MaxGroups: 1, Policy: PolicyBlock})
+	h.Pause()
+	first, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatched := make(chan error, 1)
+	go func() { dispatched <- h.DispatchContext(context.Background(), second) }()
+	// The dispatcher must actually park: it cannot proceed while the
+	// device is paused with the backlog at cap.
+	select {
+	case err := <-dispatched:
+		t.Fatalf("blocked dispatch returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.Resume()
+	if err := <-dispatched; err != nil {
+		t.Fatalf("blocked dispatch err = %v", err)
+	}
+	if _, err := first.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("hal.admission.blocked").Value(); got != 1 {
+		t.Errorf("blocked counter = %d, want 1", got)
+	}
+	h.Close()
+}
+
+// TestAdmissionBlockHonorsContext cancels a parked dispatcher's context:
+// the dispatch must abandon with an error matching both ErrOverload and
+// context.Canceled, and the job must stay discardable.
+func TestAdmissionBlockHonorsContext(t *testing.T) {
+	h, region := newHAL(t)
+	privateReg(h)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	h.SetAdmission(AdmissionLimits{MaxGroups: 1, Policy: PolicyBlock})
+	h.Pause()
+	first, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	dispatched := make(chan error, 1)
+	go func() { dispatched <- h.DispatchContext(ctx, second) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	err = <-dispatched
+	if !errors.Is(err, ErrOverload) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned dispatch err = %v, want ErrOverload and context.Canceled", err)
+	}
+	h.Discard(second)
+	h.Resume()
+	if _, err := first.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}
+
+// TestAdmissionDeadlineRefusal dispatches under a budget smaller than the
+// cost model's floor (the parametrization time alone): admission must
+// refuse outright with an error matching both ErrDeadlineExceeded and
+// context.DeadlineExceeded, before any reservation enters the backlog.
+func TestAdmissionDeadlineRefusal(t *testing.T) {
+	h, region := newHAL(t)
+	reg := privateReg(h)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithBudget(context.Background(), 1*sim.Nanosecond)
+	err = h.DispatchContext(ctx, j)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to match context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "ETA") {
+		t.Errorf("refusal error carries no ETA: %v", err)
+	}
+	if got := reg.Counter("hal.admission.deadline_refused").Value(); got != 1 {
+		t.Errorf("deadline_refused counter = %d, want 1", got)
+	}
+	h.Discard(j)
+	// A budget the ETA fits inside admits normally.
+	j2, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DispatchContext(WithBudget(context.Background(), sim.Second), j2); err != nil {
+		t.Fatalf("generous budget refused: %v", err)
+	}
+	if _, err := j2.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}
+
+// TestAdmissionDeadlineExpiresInQueue exploits the gap between the cost
+// model's ETA (priced at nominal QPI bandwidth) and reality on a degraded
+// link (qpi=0.5 halves the effective rate): a budget of ETA plus half the
+// transfer term passes admission, but by the time round one finishes the
+// simulated clock has passed the group's deadline and the round-boundary
+// sweep must abort it with ErrDeadlineExceeded.
+func TestAdmissionDeadlineExpiresInQueue(t *testing.T) {
+	in := faults.New(faults.Options{QPIFactor: 0.5})
+	h, region, reg := newFaultHAL(t, in)
+	rows := make([]string, 400)
+	for i := range rows {
+		rows[i] = strings.Repeat("x", 70)
+	}
+	p, _, _ := buildParams(t, region, `abc`, rows)
+	h.Pause()
+	// Fill engine 0's first round to the admission cap so the budgeted
+	// group cannot ride along in round one.
+	var fillers []*Job
+	for i := 0; i < DefaultAdmissionCap; i++ {
+		j, err := h.SubmitTo(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Dispatch(j); err != nil {
+			t.Fatal(err)
+		}
+		fillers = append(fillers, j)
+	}
+	late, err := h.SubmitTo(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	eta := h.etaLocked()
+	h.mu.Unlock()
+	// eta - ParametrizeTime is the transfer term at nominal bandwidth; at
+	// qpi=0.5 the real round takes roughly twice that, so +50% lands the
+	// deadline between the estimate and reality.
+	budget := eta + (eta-ParametrizeTime)/2
+	if err := h.DispatchContext(WithBudget(context.Background(), budget), late); err != nil {
+		t.Fatalf("budgeted dispatch refused at admission: %v", err)
+	}
+	h.Resume()
+	for i, j := range fillers {
+		if _, err := j.Await(context.Background()); err != nil {
+			t.Fatalf("await filler %d: %v", i, err)
+		}
+	}
+	_, err = late.Await(context.Background())
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("overdue group err = %v, want ErrDeadlineExceeded", err)
+	}
+	if got := reg.Counter("hal.admission.deadline_expired").Value(); got != 1 {
+		t.Errorf("deadline_expired counter = %d, want 1", got)
+	}
+	h.Close()
+}
+
+// TestStateMachine walks the /health state machine: ok on an idle healthy
+// device, overloaded while the backlog is at cap, degraded while an engine
+// is quarantined, and back to ok.
+func TestStateMachine(t *testing.T) {
+	h, region := newHAL(t)
+	privateReg(h)
+	p, _, _ := buildParams(t, region, `abc`, []string{"xxabc", "zzz"})
+	if got := h.State(); got != "ok" {
+		t.Fatalf("idle state = %q, want ok", got)
+	}
+	h.SetAdmission(AdmissionLimits{MaxGroups: 1, Policy: PolicyShed})
+	h.Pause()
+	j, err := h.Submit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Dispatch(j); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.State(); got != "overloaded" {
+		t.Errorf("state at cap = %q, want overloaded", got)
+	}
+	h.Resume()
+	if _, err := j.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.State(); got != "ok" {
+		t.Errorf("state after drain = %q, want ok", got)
+	}
+	h.Close()
+
+	// A quarantined engine that fabric reset cannot revive (the injector
+	// never lets it recover) leaves the device degraded.
+	in := faults.New(faults.Options{DropEnabled: true, DropEngine: 0})
+	hq, region2, _ := newSingleEngineHAL(t, in)
+	pq, _, _ := buildParams(t, region2, `abc`, []string{"xxabc"})
+	if _, err := hq.Submit(pq); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("wedged submit err = %v", err)
+	}
+	if got := hq.State(); got != "degraded" {
+		t.Errorf("state with quarantined engine = %q, want degraded", got)
+	}
+	hq.Close()
+}

@@ -93,6 +93,7 @@ type Job struct {
 	comp       Completion
 	finished   bool
 	canceled   bool
+	failErr    error // typed abort cause Await reports (guarded by hal.mu, read after done closes)
 	group      *jobGroup
 	done       chan struct{} // closed when the runtime completes or cancels the job
 	seq        int64         // HAL-wide job sequence number (flight-recorder key)
@@ -132,6 +133,9 @@ func (j *Job) Completion() (sim.Time, error) {
 		return 0, ErrPending
 	}
 	if j.canceled {
+		if j.failErr != nil {
+			return 0, j.failErr
+		}
 		return 0, ErrCanceled
 	}
 	return j.completed, nil
@@ -160,13 +164,19 @@ type HAL struct {
 	queueWait *telemetry.Histogram
 
 	mu        sync.Mutex
-	cond      *sync.Cond // wakes the runtime's event loop (backlog/resume/close)
+	cond      *sync.Cond // wakes the runtime's event loop (backlog/resume/close) and blocked dispatchers
 	simEpoch  sim.Time   // continuous simulated timeline across arbitration rounds
 	jobSeq    int64      // HAL-wide job sequence (flight-recorder key)
 	backlog   []*jobGroup
-	admitCap  int  // max in-flight jobs per engine in one round
-	paused    bool // admission suspended (tests observe queue buildup)
-	closed    bool
+	admitCap  int             // max in-flight jobs per engine in one round
+	admission AdmissionLimits // backlog caps + shed/block policy (zero: unbounded)
+	// blockedWaiters counts dispatchers parked on the block policy;
+	// peak* are backlog high-water marks (soak asserts them vs. the caps).
+	blockedWaiters                  int
+	peakGroups, peakJobs, peakBytes int64
+	resetting                       bool // fabric reset in progress (health state machine)
+	paused                          bool // admission suspended (tests observe queue buildup)
+	closed                          bool
 	loopOn    bool    // event-loop goroutine started
 	queuedVol []int64 // per-engine running byte totals (the Distributor's index)
 	health    []engineHealth

@@ -35,46 +35,70 @@ const (
 	DoneWaitTimeout = 100 * sim.Microsecond
 )
 
+// ErrEngineFault is the umbrella sentinel every hardware-fault error wraps:
+// errors.Is(err, ErrEngineFault) is the one check callers need to decide
+// "degrade to software" without enumerating fault classes. The concrete
+// sentinels below remain errors.Is-able individually.
+var ErrEngineFault = errors.New("hal: engine fault")
+
+// faultError is a typed hardware-fault sentinel: it matches ErrEngineFault
+// under errors.Is and carries the transient/permanent classification the
+// query-level retry layer consults. Transient faults (a wedged done bit, a
+// dropped engine, a damaged transfer) can heal across attempts — the
+// injector's recovery paths and the breaker's readmission exist for exactly
+// that — while a permanent fault (the whole fabric quarantined) cannot be
+// retried away and should degrade immediately.
+type faultError struct {
+	msg       string
+	transient bool
+}
+
+func (e *faultError) Error() string { return e.msg }
+
+// Is matches the umbrella ErrEngineFault sentinel (errors.Is handles
+// identity to the concrete sentinel itself).
+func (e *faultError) Is(target error) bool { return target == ErrEngineFault }
+
 // Typed fault errors. Each maps to a detection counter under hal.faults.*;
-// IsFault groups them so callers (core.System.Exec) can degrade to the
-// software operator instead of failing the query.
+// all wrap ErrEngineFault (IsFault) so callers (core.System.Exec) can
+// degrade to the software operator instead of failing the query.
 var (
 	// ErrDoneTimeout is the watchdog firing: the done bit never set
 	// within the simulated busy-wait budget.
-	ErrDoneTimeout = errors.New("hal: watchdog timeout waiting for done bit")
+	ErrDoneTimeout error = &faultError{msg: "hal: watchdog timeout waiting for done bit", transient: true}
 	// ErrConfigCorrupt is a config-vector checksum mismatch at engine
 	// ingest (the vector was damaged crossing QPI).
-	ErrConfigCorrupt = errors.New("hal: config vector checksum mismatch at engine ingest")
+	ErrConfigCorrupt error = &faultError{msg: "hal: config vector checksum mismatch at engine ingest", transient: true}
 	// ErrStatusCorrupt is a status-block checksum mismatch at the
 	// done-bit read.
-	ErrStatusCorrupt = errors.New("hal: status block checksum mismatch")
+	ErrStatusCorrupt error = &faultError{msg: "hal: status block checksum mismatch", transient: true}
 	// ErrEngineDropped is an engine refusing the job-accept handshake.
-	ErrEngineDropped = errors.New("hal: engine stopped accepting jobs")
+	ErrEngineDropped error = &faultError{msg: "hal: engine stopped accepting jobs", transient: true}
 	// ErrEngineQuarantined is a submit pinned to an engine the circuit
 	// breaker holds quarantined.
-	ErrEngineQuarantined = errors.New("hal: engine is quarantined")
+	ErrEngineQuarantined error = &faultError{msg: "hal: engine is quarantined", transient: true}
 	// ErrAllQuarantined means no engine is admitted and none could be
-	// readmitted by a fresh handshake.
-	ErrAllQuarantined = errors.New("hal: all engines quarantined")
+	// readmitted by a fresh handshake — fabric-wide, so not transient.
+	ErrAllQuarantined error = &faultError{msg: "hal: all engines quarantined", transient: false}
 	// ErrRetriesExhausted means a job failed on every attempted engine.
-	ErrRetriesExhausted = errors.New("hal: job failed after bounded retries")
+	ErrRetriesExhausted error = &faultError{msg: "hal: job failed after bounded retries", transient: true}
 )
 
 // IsFault reports whether err is a hardware-fault error the caller may
 // recover from by degrading to the software path. Validation and capacity
 // errors (bad parameters, expression over the deployed limits, ErrQueueFull)
-// are not faults: retrying or degrading cannot fix the request itself.
-func IsFault(err error) bool {
-	for _, f := range []error{
-		ErrDoneTimeout, ErrConfigCorrupt, ErrStatusCorrupt,
-		ErrEngineDropped, ErrEngineQuarantined, ErrAllQuarantined,
-		ErrRetriesExhausted,
-	} {
-		if errors.Is(err, f) {
-			return true
-		}
-	}
-	return false
+// are not faults — and neither are the admission layer's ErrOverload and
+// ErrDeadlineExceeded: a shed query was refused, not broken.
+func IsFault(err error) bool { return errors.Is(err, ErrEngineFault) }
+
+// IsTransient reports whether err is a hardware fault worth retrying at the
+// query level: watchdog timeouts, handshake losses, single-engine drops and
+// quarantines may heal between attempts (engines recover, breakers readmit).
+// A fabric-wide ErrAllQuarantined is permanent — only a fabric reset or the
+// software operator answers that query.
+func IsTransient(err error) bool {
+	var fe *faultError
+	return errors.As(err, &fe) && fe.transient
 }
 
 // EngineHealth is one engine's circuit-breaker snapshot.
@@ -124,14 +148,15 @@ func (h *HAL) noteSuccess(e int) {
 	h.health[e].jobs++
 }
 
-// noteFailure records a failed attempt on engine e and trips the circuit
-// breaker after quarantineAfter consecutive failures.
+// noteFailure records a failed attempt on engine e, trips the circuit
+// breaker after quarantineAfter consecutive failures, and — when a quorum
+// of breakers has latched — triggers the fabric reset.
 func (h *HAL) noteFailure(e int) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	hs := &h.health[e]
 	hs.consecFails++
 	hs.fails++
+	reset := false
 	if !hs.quarantined && hs.consecFails >= quarantineAfter {
 		hs.quarantined = true
 		h.tel.Counter("hal.engine.quarantined").Inc()
@@ -144,6 +169,75 @@ func (h *HAL) noteFailure(e int) {
 			Unit:   -1,
 			Arg:    int64(hs.consecFails),
 		})
+		// Quorum check: once half or more of the fabric is quarantined,
+		// per-engine recovery has lost — reset the whole device.
+		quarantined := int64(len(h.engines)) - h.healthyLocked()
+		if !h.resetting && quarantined*2 >= int64(len(h.engines)) {
+			h.resetting = true
+			reset = true
+		}
+	}
+	h.mu.Unlock()
+	if reset {
+		h.fabricReset()
+	}
+}
+
+// fabricReset is the recovery of last resort, taken when a quorum of engine
+// breakers has latched: re-run the AAL handshake, scrub every backlogged
+// job's status block, and re-arm the breakers by probing each quarantined
+// engine. Engines whose probe still fails stay quarantined — the reset
+// restores whatever the fabric will give back, it does not fake health.
+func (h *HAL) fabricReset() {
+	h.tel.Counter("hal.fabric_resets").Inc()
+	h.recordCtl(flightrec.EvFabricReset, -1, 0, "quorum of engine breakers latched")
+	h.rehandshake()
+	h.mu.Lock()
+	for _, g := range h.backlog {
+		for _, j := range g.jobs {
+			h.scrubStatusLocked(j)
+		}
+	}
+	quarantined := make([]bool, len(h.engines))
+	for e := range h.health {
+		quarantined[e] = h.health[e].quarantined
+	}
+	h.mu.Unlock()
+	for e, q := range quarantined {
+		if q {
+			h.tryReadmit(e)
+		}
+	}
+	h.mu.Lock()
+	h.resetting = false
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// FabricResets returns the lifetime fabric-reset count.
+func (h *HAL) FabricResets() int64 {
+	return h.tel.Counter("hal.fabric_resets").Value()
+}
+
+// State is the runtime's health state machine, in degrading order of
+// severity: "resetting" while a fabric reset is re-arming the breakers,
+// "degraded" when any engine is quarantined or the AFU handshake is lost,
+// "overloaded" when the backlog sits at an admission cap or dispatchers are
+// parked on the block policy, "ok" otherwise.
+func (h *HAL) State() string {
+	afu := h.AFUPresent()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case h.resetting:
+		return "resetting"
+	case !afu || h.healthyLocked() < int64(len(h.engines)):
+		return "degraded"
+	case h.blockedWaiters > 0 ||
+		(h.admission.bounded() && !h.roomLocked(1, 1)):
+		return "overloaded"
+	default:
+		return "ok"
 	}
 }
 

@@ -67,6 +67,8 @@ func (c Completion) HWTime() sim.Time { return c.Done - c.Admitted }
 type jobGroup struct {
 	jobs     []*Job
 	enqueued sim.Time
+	bytes    int64    // total data volume (admission byte cap accounting)
+	deadline sim.Time // simulated abort point (0: none), from WithBudget
 	admitted bool
 	canceled bool
 }
@@ -74,54 +76,39 @@ type jobGroup struct {
 // Dispatch hands a group of submitted jobs to the device runtime as one
 // admission unit and returns immediately; each job's Await delivers its
 // completion record. The runtime's event loop starts lazily on the first
-// dispatch.
+// dispatch. Dispatch ignores admission deadlines and never blocks on the
+// backlog caps' block policy — DispatchContext is the overload-aware form.
 func (h *HAL) Dispatch(jobs ...*Job) error {
-	if len(jobs) == 0 {
-		return nil
-	}
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return ErrClosed
-	}
-	for _, j := range jobs {
-		if j == nil || j.group != nil || j.finished || j.canceled {
-			h.mu.Unlock()
-			return ErrBadDispatch
-		}
-	}
-	if !h.loopOn {
-		h.loopOn = true
-		go h.loop()
-	}
-	g := &jobGroup{jobs: jobs, enqueued: h.simEpoch}
-	for _, j := range jobs {
-		j.group = g
-		h.rec.Record(flightrec.Event{
-			Type:   flightrec.EvJobQueue,
-			Sim:    g.enqueued,
-			Engine: j.Engine,
-			Unit:   -1,
-			Job:    j.seq,
-			Arg:    int64(j.Timing.TotalBytes()),
-		})
-	}
-	h.backlog = append(h.backlog, g)
-	h.publishBacklogLocked()
-	h.cond.Broadcast()
-	h.mu.Unlock()
-	return nil
+	return h.DispatchContext(context.Background(), jobs...)
 }
 
-// publishBacklogLocked exports the backlog's current depth — waiting groups
-// and their job count — as gauges. Caller holds h.mu.
+// publishBacklogLocked exports the backlog's current depth — waiting groups,
+// their job count, and queued bytes — as gauges, tracks the high-water marks
+// the overload experiments assert against the caps, and wakes dispatchers
+// parked on the block policy. Caller holds h.mu.
 func (h *HAL) publishBacklogLocked() {
 	njobs := 0
+	var bytes int64
 	for _, g := range h.backlog {
 		njobs += len(g.jobs)
+		bytes += g.bytes
 	}
 	h.tel.Gauge("hal.backlog_groups").Set(int64(len(h.backlog)))
 	h.tel.Gauge("hal.backlog_jobs").Set(int64(njobs))
+	h.tel.Gauge("hal.backlog_bytes").Set(bytes)
+	if n := int64(len(h.backlog)); n > h.peakGroups {
+		h.peakGroups = n
+		h.tel.Gauge("hal.backlog_peak_groups").Set(n)
+	}
+	if n := int64(njobs); n > h.peakJobs {
+		h.peakJobs = n
+		h.tel.Gauge("hal.backlog_peak_jobs").Set(n)
+	}
+	if bytes > h.peakBytes {
+		h.peakBytes = bytes
+		h.tel.Gauge("hal.backlog_peak_bytes").Set(bytes)
+	}
+	h.cond.Broadcast()
 }
 
 // Run dispatches jobs as one group and awaits every completion — the
@@ -143,11 +130,13 @@ func (h *HAL) Run(ctx context.Context, jobs ...*Job) ([]Completion, error) {
 
 // Await blocks until the runtime completes the job and returns its
 // completion record. If ctx is canceled while the job's group is still in
-// the backlog, the whole group is aborted — its status blocks are freed
-// and every sibling's Await reports ErrCanceled — and Await returns the
-// context's error. A group already admitted to a round runs to completion
-// (grants cannot be revoked mid-round); its record is then returned
-// normally.
+// the backlog (or the job was never dispatched), the whole group is aborted
+// — its status blocks are freed and every sibling's Await reports
+// ErrCanceled — and Await returns the context's error. A group already
+// admitted to a round runs to completion (grants cannot be revoked
+// mid-round); its record is then returned normally. A job aborted by the
+// runtime reports the typed cause: ErrClosed after Close, ErrDeadlineExceeded
+// for an overdue group, ErrCanceled otherwise.
 func (j *Job) Await(ctx context.Context) (Completion, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -155,26 +144,40 @@ func (j *Job) Await(ctx context.Context) (Completion, error) {
 	select {
 	case <-j.done:
 	case <-ctx.Done():
-		if j.hal.cancelGroup(j.group) {
+		if j.hal.abandonJob(j) {
 			return Completion{}, ctx.Err()
 		}
 		<-j.done
 	}
 	if j.canceled {
+		if j.failErr != nil {
+			return Completion{}, j.failErr
+		}
 		return Completion{}, ErrCanceled
 	}
 	return j.comp, nil
 }
 
-// cancelGroup aborts a group still waiting in the backlog: its jobs are
-// marked canceled, their status blocks freed, and their awaiters released.
-// Returns false when the group was already admitted (or canceled), in
-// which case the round completes it normally.
-func (h *HAL) cancelGroup(g *jobGroup) bool {
-	if g == nil {
+// abandonJob aborts a job whose awaiter gave up: a group still waiting in
+// the backlog is canceled whole — jobs marked canceled, status blocks
+// freed, every sibling's awaiter released — and a submitted-but-never-
+// dispatched job is released like a Discard (the historical path hung
+// forever here waiting on a done channel nothing would close). Returns
+// false when the job was already admitted, finished, or canceled: the
+// runtime owns its done channel and the caller keeps waiting.
+func (h *HAL) abandonJob(j *Job) bool {
+	h.mu.Lock()
+	if j.finished || j.canceled {
+		h.mu.Unlock()
 		return false
 	}
-	h.mu.Lock()
+	g := j.group
+	if g == nil {
+		h.releaseJobsLocked([]*Job{j}, ErrCanceled)
+		h.mu.Unlock()
+		close(j.done)
+		return true
+	}
 	if g.admitted || g.canceled {
 		h.mu.Unlock()
 		return false
@@ -186,22 +189,24 @@ func (h *HAL) cancelGroup(g *jobGroup) bool {
 			break
 		}
 	}
-	h.releaseJobsLocked(g.jobs)
+	h.releaseJobsLocked(g.jobs, ErrCanceled)
 	h.publishBacklogLocked()
 	h.mu.Unlock()
-	for _, j := range g.jobs {
-		close(j.done)
+	for _, sib := range g.jobs {
+		close(sib.done)
 	}
 	return true
 }
 
 // releaseJobsLocked undoes the submit-time reservations of jobs that will
 // never run a round: status blocks return to the pool, the distributor's
-// volume accounting and the descriptor-queue occupancy shrink. Caller
-// holds h.mu.
-func (h *HAL) releaseJobsLocked(jobs []*Job) {
+// volume accounting and the descriptor-queue occupancy shrink. Each job's
+// Await will report cause (an errors.Is-able sentinel: ErrCanceled,
+// ErrClosed, or ErrDeadlineExceeded). Caller holds h.mu.
+func (h *HAL) releaseJobsLocked(jobs []*Job, cause error) {
 	for _, j := range jobs {
 		j.canceled = true
+		j.failErr = cause
 		h.freeBlockLocked(j.statusAddr, j.poolOff)
 		h.queueLen--
 		h.queuedVol[j.Engine] -= int64(j.Timing.TotalBytes())
@@ -228,7 +233,7 @@ func (h *HAL) Discard(jobs ...*Job) {
 		}
 		victims = append(victims, j)
 	}
-	h.releaseJobsLocked(victims)
+	h.releaseJobsLocked(victims, ErrCanceled)
 	h.mu.Unlock()
 	for _, j := range victims {
 		close(j.done)
@@ -253,7 +258,7 @@ func (h *HAL) Resume() {
 }
 
 // Close shuts the runtime down: every group still in the backlog is
-// canceled (awaiters unblock with ErrCanceled) and the event loop exits
+// canceled (awaiters unblock with ErrClosed) and the event loop exits
 // after any in-flight round. Further Dispatch and Submit calls fail with
 // ErrClosed. Close is idempotent.
 func (h *HAL) Close() {
@@ -270,7 +275,7 @@ func (h *HAL) Close() {
 		g.canceled = true
 		victims = append(victims, g.jobs...)
 	}
-	h.releaseJobsLocked(victims)
+	h.releaseJobsLocked(victims, ErrClosed)
 	h.publishBacklogLocked()
 	h.cond.Broadcast()
 	h.mu.Unlock()
@@ -279,9 +284,9 @@ func (h *HAL) Close() {
 	}
 }
 
-// loop is the device runtime's event loop: wait for backlogged work, admit
-// a round, simulate it, deliver completions, repeat. Exactly one loop
-// goroutine runs per HAL; it alone advances simEpoch.
+// loop is the device runtime's event loop: wait for backlogged work, abort
+// overdue groups, admit a round, simulate it, deliver completions, repeat.
+// Exactly one loop goroutine runs per HAL; it alone advances simEpoch.
 func (h *HAL) loop() {
 	for {
 		h.mu.Lock()
@@ -292,22 +297,27 @@ func (h *HAL) loop() {
 			h.mu.Unlock()
 			return
 		}
-		queues, jobs := h.admitLocked()
+		expired := h.expireLocked()
+		queues, jobs, admitted := h.admitLocked()
 		epoch := h.simEpoch
 		params := h.params
 		h.mu.Unlock()
-		h.runRound(epoch, params, queues, jobs)
+		for _, j := range expired {
+			close(j.done)
+		}
+		if admitted > 0 {
+			h.runRound(epoch, params, queues, jobs)
+		}
 	}
 }
 
 // admitLocked moves backlogged groups into the next round, FIFO, until the
 // per-engine admission cap would be exceeded. The head group is always
 // admitted. Caller holds h.mu.
-func (h *HAL) admitLocked() (queues [][]memmodel.Job, jobs [][]*Job) {
+func (h *HAL) admitLocked() (queues [][]memmodel.Job, jobs [][]*Job, admitted int) {
 	queues = make([][]memmodel.Job, len(h.engines))
 	jobs = make([][]*Job, len(h.engines))
 	load := make([]int, len(h.engines))
-	admitted := 0
 	for len(h.backlog) > 0 {
 		g := h.backlog[0]
 		if g.canceled {
@@ -331,11 +341,11 @@ func (h *HAL) admitLocked() (queues [][]memmodel.Job, jobs [][]*Job) {
 			})
 		}
 		g.admitted = true
-		admitted++
+		admitted += len(g.jobs)
 		h.backlog = h.backlog[1:]
 	}
 	h.publishBacklogLocked()
-	return queues, jobs
+	return queues, jobs, admitted
 }
 
 // fitsRound reports whether admitting group g keeps every engine at or

@@ -156,8 +156,8 @@ func TestCloseCancelsBacklog(t *testing.T) {
 	}
 	h.Close()
 	h.Close() // idempotent
-	if _, err := j.Await(context.Background()); err != ErrCanceled {
-		t.Errorf("await after close err = %v", err)
+	if _, err := j.Await(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("await after close err = %v, want ErrClosed", err)
 	}
 	if _, err := h.Submit(p); err != ErrClosed {
 		t.Errorf("submit after close err = %v", err)

@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 
 	"doppiodb/internal/explain"
+	"doppiodb/internal/hal"
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/perf"
+	"doppiodb/internal/sim"
 	"doppiodb/internal/telemetry"
 )
 
@@ -40,6 +42,12 @@ type Engine struct {
 	// ID labels this engine's sessions in pprof profiles
 	// (doppio.session); NewEngine assigns s1, s2, ... per process.
 	ID string
+	// QueryBudget, when positive, attaches a simulated-time deadline to
+	// every query: the HAL refuses admission when the cost model's ETA
+	// already exceeds the budget and aborts queued work that outlives it
+	// (hal.ErrDeadlineExceeded, errors.Is-able as
+	// context.DeadlineExceeded).
+	QueryBudget sim.Time
 
 	queries atomic.Int64
 }
@@ -85,6 +93,9 @@ func (e *Engine) Query(src string) (*Result, error) {
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if e.QueryBudget > 0 {
+		ctx = hal.WithBudget(ctx, e.QueryBudget)
 	}
 	root := telemetry.StartSpan("query")
 	p := root.StartChild("sql-parse")
