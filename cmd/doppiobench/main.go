@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	doppiobench [-experiment all|table1|fig8|...|fig15|throughput|soak]
+//	doppiobench [-experiment all|none|table1|fig8|...|fig15|throughput|soak]
 //	            [-sample N] [-seed S] [-selectivity F]
 //	            [-clients N] [-measured-rows N]
 //	            [-json] [-metrics-out FILE.json] [-trace-out FILE.json]
 //	            [-explain] [-explain-out FILE.json]
+//	            [-baseline FILE.json] [-baseline-against FILE.json]
+//	            [-baseline-tol PCT] [-baseline-report FILE.json]
+//	            [-querylog-out FILE.jsonl]
 //	            [-mon ADDR] [-faults SPEC]
 //
 // -sample sets how many rows the functional engines execute per
@@ -37,6 +40,17 @@
 // calibration auditor: -explain prints the per-term prediction-error report
 // after the run, -explain-out writes it (plus the most recent decision
 // records) as JSON, and the -json document carries it in "calibration".
+//
+// Perf-regression gate: -baseline FILE compares this run's results (or,
+// with -baseline-against FILE, a previously written -json document — use
+// -experiment none to compare two files without running anything) against
+// a baseline -json document and exits 3 when a throughput-class metric
+// dropped more than -baseline-tol percent (default 10). -baseline-report
+// writes the delta report as JSON for CI to validate. Every query also
+// lands in the wide-event query log: -querylog-out exports the retained
+// window as JSON Lines, and the -json document carries the log stats in
+// "querylog", the windowed SLO report in "slo", and the binary's build
+// identity in "build".
 package main
 
 import (
@@ -55,6 +69,7 @@ import (
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/hal"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/telemetry"
 )
 
@@ -80,6 +95,11 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline as Chrome-trace JSON to this file")
 		monAddr  = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
 		fspec    = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
+		baseFile = flag.String("baseline", "", "baseline -json document; exit 3 if a throughput-class metric regressed past the tolerance")
+		baseCur  = flag.String("baseline-against", "", "compare this previously written -json document instead of the current run's results")
+		baseTol  = flag.Float64("baseline-tol", 10, "regression tolerance for -baseline, in percent")
+		baseRep  = flag.String("baseline-report", "", "write the -baseline delta report to this JSON file")
+		qlogOut  = flag.String("querylog-out", "", "write the retained wide-event query log as JSON Lines to this file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel,
@@ -122,6 +142,9 @@ func main() {
 	}
 	out := os.Stdout
 	all := []exp{
+		// "none" runs nothing: it lets -baseline compare two previously
+		// written -json documents without paying for a run.
+		{"none", func() error { return nil }},
 		{"table1", func() error { r, err := experiments.Table1(cfg); render(r, err, out); return err }},
 		{"fig8", func() error { r, err := experiments.Figure8(cfg); render(r, err, out); return err }},
 		{"fig9", func() error { r, err := experiments.Figure9(cfg); render(r, err, out); return err }},
@@ -202,13 +225,20 @@ func main() {
 	snap := telemetry.Default().Snapshot()
 	health := hal.SummaryFromMetrics(snap)
 	calib := explain.Default().Stats()
+	doc := struct {
+		Experiments []namedResult       `json:"experiments"`
+		Build       telemetry.BuildInfo `json:"build"`
+		Metrics     telemetry.Snapshot  `json:"metrics"`
+		Health      hal.HealthCounters  `json:"health"`
+		Calibration explain.Report      `json:"calibration"`
+		SLO         obs.SLOReport       `json:"slo"`
+		QueryLog    obs.LogStats        `json:"querylog"`
+	}{results, telemetry.Build(), snap, health, calib,
+		obs.Default().SLO.Report(), obs.Default().Log.Stats()}
+	if doc.Experiments == nil {
+		doc.Experiments = []namedResult{}
+	}
 	if jsonMode {
-		doc := struct {
-			Experiments []namedResult      `json:"experiments"`
-			Metrics     telemetry.Snapshot `json:"metrics"`
-			Health      hal.HealthCounters `json:"health"`
-			Calibration explain.Report     `json:"calibration"`
-		}{results, snap, health, calib}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -264,6 +294,57 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "doppiobench: flight-recorder timeline written to %s (%d events, %d dropped; open in ui.perfetto.dev)\n",
 			*traceOut, rec.Len(), rec.Dropped())
+	}
+	if *qlogOut != "" {
+		f, err := os.Create(*qlogOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: %v\n", err)
+			os.Exit(1)
+		}
+		err = obs.Default().Log.WriteJSONL(f, 0)
+		if cErr := f.Close(); err == nil {
+			err = cErr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: write query log: %v\n", err)
+			os.Exit(1)
+		}
+		st := obs.Default().Log.Stats()
+		fmt.Fprintf(os.Stderr, "doppiobench: query log written to %s (%d events retained of %d submitted)\n",
+			*qlogOut, st.Kept, st.Submitted)
+	}
+	if *baseFile != "" {
+		base, err := os.ReadFile(*baseFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: read baseline: %v\n", err)
+			os.Exit(2)
+		}
+		var cur []byte
+		if *baseCur != "" {
+			if cur, err = os.ReadFile(*baseCur); err != nil {
+				fmt.Fprintf(os.Stderr, "doppiobench: read candidate: %v\n", err)
+				os.Exit(2)
+			}
+		} else if cur, err = json.Marshal(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: encode results for baseline compare: %v\n", err)
+			os.Exit(1)
+		}
+		report, err := obs.CompareBaseline(base, cur, *baseTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: baseline compare: %v\n", err)
+			os.Exit(2)
+		}
+		if *baseRep != "" {
+			if err := writeJSONFile(*baseRep, report); err != nil {
+				fmt.Fprintf(os.Stderr, "doppiobench: write baseline report: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "doppiobench: baseline report written to %s\n", *baseRep)
+		}
+		report.WriteText(os.Stderr)
+		if !report.Pass {
+			os.Exit(3)
+		}
 	}
 }
 

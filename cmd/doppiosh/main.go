@@ -22,7 +22,10 @@
 // (`EXPLAIN [ANALYZE] SELECT ...` works as a statement, too), `\health`
 // shows the AFU handshake state, the per-engine circuit breaker, every
 // fault/recovery counter, and the cost-model calibration report with drift
-// alarms, `\dump [FILE]` writes the flight-recorder window (to stdout, or
+// alarms, `\slo` prints the windowed SLO report (per-class latency
+// quantiles, availability SLIs, burn rates and the alert state),
+// `\querylog [N]` prints the N most recent wide query events from the
+// tail-biased log, `\dump [FILE]` writes the flight-recorder window (to stdout, or
 // to FILE — a .json suffix selects the Chrome-trace format for
 // ui.perfetto.dev), `\q` quits. -faults injects hardware faults (same spec
 // grammar as doppiobench); degraded queries are marked on their status line
@@ -38,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -99,6 +103,7 @@ func main() {
 			Recorder:    sys.Rec,
 			Health:      sys.HAL,
 			Calibration: sys.Audit,
+			Obs:         sys.Obs,
 		})
 		fatal(err)
 		defer mon.Close()
@@ -171,6 +176,14 @@ func meta(sys *core.System, cmd string) bool {
 		dumpRecorder(sys.Rec, strings.TrimSpace(rest))
 		return true
 	}
+	if rest, ok := strings.CutPrefix(trimmed, `\querylog`); ok && (rest == "" || rest[0] == ' ') {
+		n := 20
+		if v, err := strconv.Atoi(strings.TrimSpace(rest)); err == nil && v >= 0 {
+			n = v
+		}
+		sys.Obs.Log.WriteText(os.Stdout, n)
+		return true
+	}
 	switch trimmed {
 	case `\metrics`:
 		sys.Tel.WriteText(os.Stdout)
@@ -195,6 +208,9 @@ func meta(sys *core.System, cmd string) bool {
 		return true
 	case `\health`:
 		printHealth(sys)
+		return true
+	case `\slo`:
+		sys.Obs.SLO.Report().WriteText(os.Stdout)
 		return true
 	}
 	return false
@@ -258,6 +274,13 @@ func printHealth(sys *core.System) {
 		fmt.Printf("%-28s %d\n", name, sys.Tel.Counter(name).Value())
 	}
 	fmt.Println()
+	rep := sys.Obs.SLO.Report()
+	alert := "quiet"
+	if rep.AlertActive {
+		alert = "FIRING"
+	}
+	fmt.Printf("SLO: %d submitted, %d errors, burn fast %.2fx / slow %.2fx, alert %s (%d fired)\n\n",
+		rep.Submitted, rep.Errors, rep.FastBurn, rep.SlowBurn, alert, rep.AlertsFired)
 	sys.Audit.Stats().WriteText(os.Stdout)
 }
 

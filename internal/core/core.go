@@ -28,6 +28,7 @@ import (
 	"doppiodb/internal/fpga"
 	"doppiodb/internal/hal"
 	"doppiodb/internal/mdb"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/shmem"
 	"doppiodb/internal/sim"
@@ -81,6 +82,10 @@ type Options struct {
 	// Retry overrides the per-query hardware retry budget (nil selects
 	// DefaultRetryPolicy; &RetryPolicy{} disables query-level retry).
 	Retry *RetryPolicy
+	// Obs receives the wide query event every Exec emits at completion
+	// (query log + SLO engine). Nil selects the process-wide default
+	// observer.
+	Obs *obs.Observer
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -99,6 +104,8 @@ type System struct {
 	// Retry is the per-query hardware retry budget Exec applies to
 	// transient faults before degrading to software.
 	Retry RetryPolicy
+	// Obs is the wide-event query log and SLO engine every query feeds.
+	Obs *obs.Observer
 }
 
 // NewSystem boots the platform: programs the FPGA, maps the shared region,
@@ -139,6 +146,12 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	aud.SetTelemetry(tel)
 	aud.SetRecorder(rec)
+	ob := opts.Obs
+	if ob == nil {
+		ob = obs.Default()
+	}
+	ob.SetTelemetry(tel)
+	ob.SetRecorder(rec)
 	s := &System{
 		Region: region,
 		Device: dev,
@@ -149,6 +162,7 @@ func NewSystem(opts Options) (*System, error) {
 		Rec:    rec,
 		Audit:  aud,
 		Retry:  DefaultRetryPolicy(),
+		Obs:    ob,
 	}
 	if opts.Retry != nil {
 		s.Retry = *opts.Retry
@@ -223,6 +237,9 @@ type HWStats struct {
 	Bytes    int64
 	Grants   int64
 	Switches int64
+	// Jobs is the engine set the query ran on: how many partitions the
+	// runtime dispatched.
+	Jobs int
 	// LinkBusy is the link service time of this query's grants.
 	LinkBusy sim.Time
 }
@@ -361,6 +378,7 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 		}
 	})
 	if err != nil {
+		s.observeQuery(ctx, col, pattern, placement, nil, err, retries, backoff)
 		return nil, err
 	}
 	if backoff > 0 {
@@ -378,6 +396,7 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	s.Tel.Counter("core.actual_ns").Add(int64(res.Total() / sim.Nanosecond))
 	finishRecord(rec, res)
 	res.Decision = rec
+	s.observeQuery(ctx, col, pattern, placement, res, nil, retries, backoff)
 	return res, nil
 }
 
@@ -448,6 +467,7 @@ func (s *System) execDirect(ctx context.Context, col *bat.Strings, prog *token.P
 		return nil, err
 	}
 	var hw HWStats
+	hw.Jobs = len(jobs)
 	matches := 0
 	var cycles int64
 	for _, j := range jobs {

@@ -5,6 +5,7 @@ import (
 
 	"doppiodb/internal/bat"
 	"doppiodb/internal/explain"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/sim"
 )
@@ -162,11 +163,21 @@ func finishRecord(rec *explain.Record, res *Result) {
 
 // FinishSoftware closes a decision record for a predicate the engine kept
 // in software (the cost model's software-wins outcome): the realized cost
-// is the calibrated scan model over the work actually performed.
+// is the calibrated scan model over the work actually performed. The
+// query still lands in the wide-event log — the software placement class
+// has SLIs too.
 func (s *System) FinishSoftware(rec *explain.Record, w perf.Work) {
 	if rec == nil {
 		return
 	}
 	t := s.Model.MonetDBScan(w, true)
 	rec.Finish(explain.Cost{SoftwareNS: ns(t), TotalNS: ns(t)})
+	s.Obs.ObserveQuery(obs.Event{
+		SimNS:     ns(s.HAL.SimEpoch()),
+		Pattern:   rec.Pattern,
+		Placement: "software",
+		Outcome:   obs.OutcomeCompleted,
+		Rows:      rec.Rows,
+		TotalNS:   ns(t),
+	})
 }

@@ -1,0 +1,80 @@
+// Wide-event emission: Exec's single funnel means every query — direct
+// library calls, the SQL layer, the HUDF — ends exactly once in
+// observeQuery, which renders the run into the canonical obs.Event: who
+// asked (session/query ids off the context), what the planner chose, how
+// each simulated phase priced out, and how it ended under the overload
+// taxonomy (completed/degraded/shed/deadline/canceled/failed).
+package core
+
+import (
+	"context"
+	"errors"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/hal"
+	"doppiodb/internal/obs"
+	"doppiodb/internal/sim"
+)
+
+// outcomeForError maps the overload/fault taxonomy (PR 7's sentinels) onto
+// the query log's outcome classes.
+func outcomeForError(err error) obs.Outcome {
+	switch {
+	case errors.Is(err, hal.ErrOverload):
+		return obs.OutcomeShed
+	// hal.ErrDeadlineExceeded matches context.DeadlineExceeded, so one
+	// check covers both the simulated budget and a wall deadline.
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeDeadline
+	case errors.Is(err, context.Canceled):
+		return obs.OutcomeCanceled
+	default:
+		return obs.OutcomeFailed
+	}
+}
+
+// observeQuery emits the wide event for one finished Exec call. Exactly
+// one of res/err is set. All timestamps and durations are simulated, so
+// identical runs emit identical events.
+func (s *System) observeQuery(ctx context.Context, col *bat.Strings, pattern, placement string, res *Result, err error, retries int, backoff sim.Time) {
+	session, query := obs.QueryInfoFrom(ctx)
+	ev := obs.Event{
+		SimNS:     ns(s.HAL.SimEpoch()),
+		Session:   session,
+		Query:     query,
+		Pattern:   pattern,
+		Placement: placement,
+		Rows:      col.Count(),
+		Retries:   retries,
+		BackoffNS: ns(backoff),
+		BudgetNS:  ns(hal.BudgetFrom(ctx)),
+	}
+	if err != nil {
+		ev.Outcome = outcomeForError(err)
+		ev.Cause = err.Error()
+		// A shed or refused query never ran; the only simulated time it
+		// consumed is the retry backoff it may have accrued first.
+		ev.TotalNS = ns(backoff)
+		s.Obs.ObserveQuery(ev)
+		return
+	}
+	ev.Outcome = obs.OutcomeCompleted
+	if res.Degraded {
+		ev.Outcome = obs.OutcomeDegraded
+		ev.Cause = res.DegradedCause
+	}
+	ev.Matches = res.MatchCount
+	ev.Bytes = res.HW.Bytes
+	ev.Jobs = res.HW.Jobs
+	ev.Hybrid = res.Hybrid
+	ev.QueueNS = ns(res.HW.QueueWait)
+	ev.TotalNS = ns(res.Total())
+	if bd := res.Breakdown; bd != nil {
+		phases := make(map[string]int64, 8)
+		for _, ph := range bd.Phases() {
+			phases[ph] = ns(bd.Get(ph))
+		}
+		ev.Phases = phases
+	}
+	s.Obs.ObserveQuery(ev)
+}

@@ -11,6 +11,12 @@
 //	/calibration  the cost-model calibration auditor's rolling report:
 //	              per-term prediction error statistics, drift alarms, and
 //	              (?records=N) the most recent decision records
+//	/querylog     the wide-event query log's retained window (?n=N most
+//	              recent events; ?format=jsonl for JSON Lines export,
+//	              ?format=text for the \querylog table)
+//	/slo          the windowed SLO engine's report: per-class latency
+//	              quantiles, availability SLIs, burn rates and the alert
+//	              state (?format=text for the \slo rendering)
 //	/debug/pprof  the standard Go profiling handlers
 //
 // The server holds references, not copies: every request renders the state
@@ -29,6 +35,7 @@ import (
 	"doppiodb/internal/explain"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/hal"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/telemetry"
 )
 
@@ -53,6 +60,9 @@ type Config struct {
 	Health HealthSource
 	// Calibration backs /calibration (nil: the process default auditor).
 	Calibration *explain.Auditor
+	// Obs backs /querylog and /slo, and its burn-rate alert flips /health
+	// (nil: the process default observer).
+	Obs *obs.Observer
 }
 
 // Server is a running monitoring endpoint.
@@ -74,6 +84,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if cfg.Calibration == nil {
 		cfg.Calibration = explain.Default()
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Default()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("doppiomon: listen %s: %w", addr, err)
@@ -84,6 +97,8 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/calibration", s.handleCalibration)
+	mux.HandleFunc("/querylog", s.handleQueryLog)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -115,16 +130,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.cfg.Registry.WritePrometheus(w)
+	telemetry.WritePrometheusBuildInfo(w)
 }
 
 // healthDoc is /health's wire form.
 type healthDoc struct {
-	Status     string             `json:"status"`          // "ok" or "degraded"
-	State      string             `json:"state,omitempty"` // runtime state machine: ok/overloaded/degraded/resetting
-	AFUPresent bool               `json:"afu_present"`
-	Engines    []engineHealthJSON `json:"engines,omitempty"`
-	Counters   hal.HealthCounters `json:"counters"`
-	Recorder   recorderStatusJSON `json:"recorder"`
+	Status     string `json:"status"`          // "ok" or "degraded"
+	State      string `json:"state,omitempty"` // runtime state machine: ok/overloaded/degraded/resetting
+	AFUPresent bool   `json:"afu_present"`
+	// SLOAlert mirrors the SLO engine's latched burn-rate alert; while it
+	// is set the endpoint reports degraded (the error budget is burning
+	// too fast for the instance to keep taking unshielded traffic).
+	SLOAlert bool               `json:"slo_alert"`
+	Engines  []engineHealthJSON `json:"engines,omitempty"`
+	Counters hal.HealthCounters `json:"counters"`
+	Recorder recorderStatusJSON `json:"recorder"`
 }
 
 type engineHealthJSON struct {
@@ -182,6 +202,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			doc.Status = "degraded"
 		}
 	}
+	if s.cfg.Obs.Alerting() {
+		doc.SLOAlert = true
+		doc.Status = "degraded"
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if doc.Status != "ok" {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -213,6 +237,53 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(doc) //nolint:errcheck // best-effort response write
+}
+
+// handleQueryLog serves the wide-event query log's retained window: a JSON
+// document ({stats, events}) by default, JSON Lines with ?format=jsonl,
+// the \querylog table with ?format=text. ?n=N limits to the N most recent
+// events (default 100; n=0 returns the whole window).
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	log := s.cfg.Obs.Log
+	n := 100
+	if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v >= 0 {
+		n = v
+	}
+	switch r.URL.Query().Get("format") {
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		log.WriteJSONL(w, n) //nolint:errcheck // best-effort response write
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		log.WriteText(w, n)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		doc := struct {
+			Stats  obs.LogStats `json:"stats"`
+			Events []obs.Event  `json:"events"`
+		}{Stats: log.Stats(), Events: log.Window(n)}
+		if doc.Events == nil {
+			doc.Events = []obs.Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // best-effort response write
+	}
+}
+
+// handleSLO serves the windowed SLO engine's report: JSON by default, the
+// \slo rendering with ?format=text.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	rep := s.cfg.Obs.SLO.Report()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep) //nolint:errcheck // best-effort response write
 }
 
 // handleTrace serves the flight-recorder window: structured JSON events by

@@ -13,21 +13,26 @@ import (
 
 	"doppiodb/internal/core"
 	"doppiodb/internal/flightrec"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/telemetry"
 	"doppiodb/internal/workload"
 )
 
 // bootMon starts a monitoring server over a freshly booted System that has
-// run one query, so every endpoint has real state to render.
+// run one query, so every endpoint has real state to render. The system
+// and server share a private observer so the query-log and SLO assertions
+// see exactly this test's traffic.
 func bootMon(t *testing.T) (*Server, *telemetry.Registry, *flightrec.Recorder) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	rec := flightrec.New(1024)
+	ob := obs.New(obs.Options{Log: obs.LogOptions{SampleEvery: 1}})
 	sys, err := core.NewSystem(core.Options{
 		RegionBytes: 64 << 20,
 		Telemetry:   reg,
 		Recorder:    rec,
+		Obs:         ob,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +49,7 @@ func bootMon(t *testing.T) (*Server, *telemetry.Registry, *flightrec.Recorder) {
 	if _, err := sys.ExecLike(context.Background(), col.Strs, workload.Q1Like, false); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := Start("127.0.0.1:0", Config{Registry: reg, Recorder: rec, Health: sys.HAL})
+	srv, err := Start("127.0.0.1:0", Config{Registry: reg, Recorder: rec, Health: sys.HAL, Obs: ob})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,5 +260,169 @@ func TestPprofEndpoint(t *testing.T) {
 	code, body := get(t, "http://"+srv.Addr()+"/debug/pprof/cmdline")
 	if code != http.StatusOK || len(body) == 0 {
 		t.Fatalf("/debug/pprof/cmdline status = %d, %d bytes", code, len(body))
+	}
+}
+
+func TestQueryLogEndpoint(t *testing.T) {
+	srv, _, _ := bootMon(t)
+	code, body := get(t, "http://"+srv.Addr()+"/querylog")
+	if code != http.StatusOK {
+		t.Fatalf("/querylog status = %d", code)
+	}
+	var doc struct {
+		Stats struct {
+			Submitted uint64 `json:"submitted"`
+			Kept      uint64 `json:"kept"`
+		} `json:"stats"`
+		Events []struct {
+			Seq     uint64 `json:"seq"`
+			Outcome string `json:"outcome"`
+			Rows    int    `json:"rows"`
+			TotalNS int64  `json:"total_ns"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/querylog is not JSON: %v\n%s", err, body)
+	}
+	if doc.Stats.Submitted != 1 || doc.Stats.Kept != 1 {
+		t.Fatalf("stats after one query: %+v", doc.Stats)
+	}
+	if len(doc.Events) != 1 || doc.Events[0].Outcome != "completed" ||
+		doc.Events[0].Rows != 2000 || doc.Events[0].TotalNS <= 0 {
+		t.Fatalf("events: %+v", doc.Events)
+	}
+
+	// JSONL variant: one parseable JSON object per line.
+	_, lbody := get(t, "http://"+srv.Addr()+"/querylog?format=jsonl")
+	lines := strings.Split(strings.TrimSpace(string(lbody)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("jsonl lines: got %d, want 1", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("jsonl line not JSON: %v", err)
+	}
+
+	// ?n bounds the window.
+	_, nb := get(t, "http://"+srv.Addr()+"/querylog?n=0")
+	if err := json.Unmarshal(nb, &doc); err != nil || len(doc.Events) != 1 {
+		t.Fatalf("?n=0 (whole window): %v, %d events", err, len(doc.Events))
+	}
+
+	// Text variant carries the table header.
+	_, tb := get(t, "http://"+srv.Addr()+"/querylog?format=text")
+	if !strings.Contains(string(tb), "placement") {
+		t.Fatalf("/querylog?format=text missing header:\n%.200s", tb)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	srv, _, _ := bootMon(t)
+	code, body := get(t, "http://"+srv.Addr()+"/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo status = %d", code)
+	}
+	var doc struct {
+		Targets struct {
+			AvailabilityPct float64 `json:"availability_pct"`
+			LatencyP99NS    int64   `json:"latency_p99_ns"`
+		} `json:"targets"`
+		Submitted   int64 `json:"submitted"`
+		Errors      int64 `json:"errors"`
+		AlertActive bool  `json:"alert_active"`
+		Classes     []struct {
+			Class string `json:"class"`
+			Count int64  `json:"count"`
+		} `json:"classes"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/slo is not JSON: %v\n%s", err, body)
+	}
+	if doc.Targets.AvailabilityPct < 99 || doc.Targets.LatencyP99NS <= 0 {
+		t.Fatalf("targets: %+v", doc.Targets)
+	}
+	if doc.Submitted != 1 || doc.Errors != 0 || doc.AlertActive {
+		t.Fatalf("clean single-query SLIs: %+v", doc)
+	}
+	if len(doc.Classes) != 1 || doc.Classes[0].Count != 1 {
+		t.Fatalf("classes: %+v", doc.Classes)
+	}
+
+	_, tb := get(t, "http://"+srv.Addr()+"/slo?format=text")
+	if !strings.Contains(string(tb), "SLO targets") {
+		t.Fatalf("/slo?format=text missing header:\n%.200s", tb)
+	}
+
+	// The clean system's /health must not carry the SLO alert flag.
+	hcode, hbody := get(t, "http://"+srv.Addr()+"/health")
+	if hcode != http.StatusOK || strings.Contains(string(hbody), `"slo_alert": true`) {
+		t.Fatalf("/health carries an SLO alert on a clean run: %d\n%s", hcode, hbody)
+	}
+}
+
+// The SLO burn-rate alert must flip /health to degraded/503.
+func TestHealthFlipsOnSLOAlert(t *testing.T) {
+	ob := obs.New(obs.Options{})
+	srv, err := Start("127.0.0.1:0", Config{Registry: telemetry.NewRegistry(),
+		Recorder: flightrec.New(16), Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	for i := 0; i < 16; i++ {
+		ob.ObserveQuery(obs.Event{SimNS: int64(i * 1000), Outcome: obs.OutcomeShed, Cause: "overload"})
+	}
+	if !ob.Alerting() {
+		t.Fatal("observer not alerting after 16 consecutive sheds")
+	}
+	code, body := get(t, "http://"+srv.Addr()+"/health")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/health status = %d under a latched burn alert, want 503", code)
+	}
+	var doc struct {
+		Status   string `json:"status"`
+		SLOAlert bool   `json:"slo_alert"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "degraded" || !doc.SLOAlert {
+		t.Fatalf("health doc under alert: %+v", doc)
+	}
+}
+
+// Every endpoint must declare its Content-Type, JSON documents as
+// application/json — the consistency contract dashboards rely on.
+func TestEndpointsSetContentType(t *testing.T) {
+	srv, _, _ := bootMon(t)
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics?format=json", "application/json"},
+		{"/health", "application/json"},
+		{"/trace", "application/json"},
+		{"/trace?format=perfetto", "application/json"},
+		{"/trace?format=text", "text/plain; charset=utf-8"},
+		{"/calibration", "application/json"},
+		{"/calibration?format=text", "text/plain; charset=utf-8"},
+		{"/querylog", "application/json"},
+		{"/querylog?format=jsonl", "application/x-ndjson"},
+		{"/querylog?format=text", "text/plain; charset=utf-8"},
+		{"/slo", "application/json"},
+		{"/slo?format=text", "text/plain; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get("http://" + srv.Addr() + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Header.Get("Content-Type")
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		if got != tc.want {
+			t.Errorf("%s Content-Type = %q, want %q", tc.path, got, tc.want)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/hal"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/telemetry"
 	"doppiodb/internal/token"
@@ -97,6 +98,17 @@ type SoakResult struct {
 	// FinalState is the /health state machine verdict after Close-side
 	// recovery: "ok" unless the injector left engines quarantined.
 	FinalState string `json:"final_state"`
+
+	// SLO verdicts from the run's private observer: the multi-window
+	// burn-rate alert must latch under the fault cocktail (the shed mass
+	// torches the 99% error budget), and the wide-event log must have
+	// retained every notable (non-completed) query.
+	SLOAlertActive  bool    `json:"slo_alert_active"`
+	SLOAlertsFired  int64   `json:"slo_alerts_fired"`
+	SLOFastBurn     float64 `json:"slo_fast_burn"`
+	SLOSlowBurn     float64 `json:"slo_slow_burn"`
+	QueryLogKept    uint64  `json:"querylog_kept"`
+	QueryLogNotable uint64  `json:"querylog_notable"`
 }
 
 // Balanced reports whether the ledger accounts for every submitted query.
@@ -119,6 +131,7 @@ func Soak(cfg Config) (*SoakResult, error) {
 	reg := telemetry.NewRegistry()
 	rec := flightrec.New(4096)
 	aud := explain.NewAuditor(explain.Options{})
+	ob := obs.New(obs.Options{})
 
 	before := runtime.NumGoroutine()
 	s, err := core.NewSystem(core.Options{
@@ -127,6 +140,7 @@ func Soak(cfg Config) (*SoakResult, error) {
 		Faults:      inj,
 		Recorder:    rec,
 		Auditor:     aud,
+		Obs:         ob,
 	})
 	if err != nil {
 		return nil, err
@@ -232,6 +246,14 @@ func Soak(cfg Config) (*SoakResult, error) {
 	res.SoftwareFallback = reg.Counter("core.fallback.software").Value()
 	res.BacklogPeakGroups = reg.Gauge("hal.backlog_peak_groups").Value()
 	res.FinalState = s.HAL.State()
+	slo := ob.SLO.Report()
+	res.SLOAlertActive = slo.AlertActive
+	res.SLOAlertsFired = slo.AlertsFired
+	res.SLOFastBurn = slo.FastBurn
+	res.SLOSlowBurn = slo.SlowBurn
+	ql := ob.Log.Stats()
+	res.QueryLogKept = ql.Kept
+	res.QueryLogNotable = ql.Notable
 
 	s.Close()
 	// Give the runtime's goroutines (event loop, watchdog timers) a
@@ -267,6 +289,12 @@ func (r *SoakResult) Render(w io.Writer) {
 		r.Completed, r.Degraded, r.Shed, r.Failed, r.Submitted, balance)
 	fmt.Fprintf(w, "  recovery: %d retries (%d queries recovered), %d fabric reset(s)\n",
 		r.Retries, r.Recovered, r.FabricResets)
+	alert := "quiet"
+	if r.SLOAlertActive {
+		alert = "FIRING"
+	}
+	fmt.Fprintf(w, "  slo: burn fast %.1fx / slow %.1fx, alert %s (%d fired); query log kept %d (%d notable)\n",
+		r.SLOFastBurn, r.SLOSlowBurn, alert, r.SLOAlertsFired, r.QueryLogKept, r.QueryLogNotable)
 	fmt.Fprintf(w, "  backlog peak %d group(s) vs cap %d; goroutines %d -> %d; final state %q\n",
 		r.BacklogPeakGroups, r.BacklogCapGroups, r.GoroutinesBefore, r.GoroutinesAfter, r.FinalState)
 }

@@ -45,4 +45,15 @@ func TestSoakLedgerBalances(t *testing.T) {
 	if !strings.Contains(buf.String(), "BALANCED") {
 		t.Error("transcript does not show the ledger verdict")
 	}
+	// The fault cocktail burns the 99% availability budget far past the
+	// burn threshold on both SLO windows: the multi-window alert must have
+	// latched at least once during the run.
+	if r.SLOAlertsFired < 1 {
+		t.Errorf("SLO burn-rate alert never fired under the fault cocktail (fast burn %.1fx, slow %.1fx)",
+			r.SLOFastBurn, r.SLOSlowBurn)
+	}
+	if r.QueryLogKept == 0 || r.QueryLogNotable == 0 {
+		t.Errorf("query log retained nothing notable: kept %d, notable %d",
+			r.QueryLogKept, r.QueryLogNotable)
+	}
 }

@@ -91,6 +91,10 @@ const (
 	// EvFabricReset is the full device reset after a quorum of engine
 	// breakers latched: re-handshake, status scrub, breaker re-arm.
 	EvFabricReset
+	// EvSLOBurn is the SLO engine's multi-window burn-rate alert changing
+	// state: the error-budget burn exceeded the threshold over both the
+	// fast and slow windows (Note carries the rates), or cleared (Arg 0).
+	EvSLOBurn
 
 	numTypes
 )
@@ -100,6 +104,7 @@ var typeNames = [numTypes]string{
 	"phase-switch", "watchdog", "fault", "breaker-trip", "readmit",
 	"degrade", "dump", "job-queue", "job-admit", "job-cancel",
 	"calib-drift", "shed", "deadline", "retry", "fabric-reset",
+	"slo-burn",
 }
 
 // String names the type the way the dump format and exporters do.

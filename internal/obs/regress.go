@@ -1,0 +1,166 @@
+// The perf-regression gate: compare two doppiobench -json documents and
+// fail when a throughput-class metric regressed past the tolerance. The
+// comparator is schema-agnostic — it flattens every experiment result to
+// "experiment/path/to/field" keys and gates the throughput-shaped ones
+// (qps / measured / gbs / throughput in the leaf name), so new experiments
+// join the gate without comparator changes. CI wires this as
+// `doppiobench -baseline BENCH_fig8.json`: exit zero against its own
+// output, non-zero when a run (e.g. under a qpi=0.4 fault) lost more than
+// the tolerance.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BaselineDelta is one gated metric's comparison.
+type BaselineDelta struct {
+	Metric   string  `json:"metric"`
+	Base     float64 `json:"base"`
+	Current  float64 `json:"current"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// BaselineReport is the full pass/fail comparison document.
+type BaselineReport struct {
+	TolerancePct float64 `json:"tolerance_pct"`
+	// Checked counts the gated (throughput-class) metrics present in both
+	// documents.
+	Checked int  `json:"checked"`
+	Pass    bool `json:"pass"`
+	// Regressions dropped more than the tolerance; Improvements gained
+	// more than it (informational).
+	Regressions  []BaselineDelta `json:"regressions"`
+	Improvements []BaselineDelta `json:"improvements"`
+	// MissingInCurrent lists baseline metrics the current run no longer
+	// produces (informational — renames and removed experiments).
+	MissingInCurrent []string `json:"missing_in_current,omitempty"`
+}
+
+// benchDoc is the slice of the doppiobench -json document the comparator
+// reads; unknown keys are ignored so the format can keep growing.
+type benchDoc struct {
+	Experiments []struct {
+		Experiment string          `json:"experiment"`
+		Result     json.RawMessage `json:"result"`
+	} `json:"experiments"`
+}
+
+// flattenMetrics walks v collecting numeric leaves under path-joined keys.
+func flattenMetrics(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			flattenMetrics(prefix+"/"+k, c, out)
+		}
+	case []any:
+		for i, c := range t {
+			flattenMetrics(fmt.Sprintf("%s/%d", prefix, i), c, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+// ExtractMetrics flattens a doppiobench -json document into metric keys
+// ("fig8/Points/0/Measured") mapped to their numeric values.
+func ExtractMetrics(doc []byte) (map[string]float64, error) {
+	var d benchDoc
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return nil, fmt.Errorf("obs: parse bench document: %w", err)
+	}
+	out := make(map[string]float64)
+	for _, e := range d.Experiments {
+		var v any
+		if err := json.Unmarshal(e.Result, &v); err != nil {
+			return nil, fmt.Errorf("obs: parse %s result: %w", e.Experiment, err)
+		}
+		flattenMetrics(e.Experiment, v, out)
+	}
+	return out, nil
+}
+
+// gated reports whether a metric key is a throughput-class figure the gate
+// compares: higher is better, a drop past the tolerance is a regression.
+func gated(key string) bool {
+	leaf := strings.ToLower(key[strings.LastIndex(key, "/")+1:])
+	for _, m := range []string{"qps", "measured", "gbs", "throughput"} {
+		if strings.Contains(leaf, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareBaseline compares a current doppiobench -json document against a
+// baseline one, gating throughput-class metrics at tolerancePct (<= 0
+// selects the default 10%).
+func CompareBaseline(baseline, current []byte, tolerancePct float64) (*BaselineReport, error) {
+	if tolerancePct <= 0 {
+		tolerancePct = 10
+	}
+	base, err := ExtractMetrics(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := ExtractMetrics(current)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	rep := &BaselineReport{TolerancePct: tolerancePct, Pass: true}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		if gated(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			rep.MissingInCurrent = append(rep.MissingInCurrent, k)
+			continue
+		}
+		rep.Checked++
+		if b == 0 {
+			continue // nothing to regress from
+		}
+		deltaPct := (c - b) / math.Abs(b) * 100
+		d := BaselineDelta{Metric: k, Base: b, Current: c, DeltaPct: deltaPct}
+		switch {
+		case deltaPct < -tolerancePct:
+			rep.Regressions = append(rep.Regressions, d)
+			rep.Pass = false
+		case deltaPct > tolerancePct:
+			rep.Improvements = append(rep.Improvements, d)
+		}
+	}
+	return rep, nil
+}
+
+// WriteText renders the delta report for the terminal.
+func (r *BaselineReport) WriteText(w io.Writer) {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "baseline comparison: %s (%d metric(s) checked, tolerance %.1f%%)\n",
+		verdict, r.Checked, r.TolerancePct)
+	for _, d := range r.Regressions {
+		fmt.Fprintf(w, "  REGRESSED  %-40s %12.4f -> %12.4f  (%+.1f%%)\n",
+			d.Metric, d.Base, d.Current, d.DeltaPct)
+	}
+	for _, d := range r.Improvements {
+		fmt.Fprintf(w, "  improved   %-40s %12.4f -> %12.4f  (%+.1f%%)\n",
+			d.Metric, d.Base, d.Current, d.DeltaPct)
+	}
+	for _, k := range r.MissingInCurrent {
+		fmt.Fprintf(w, "  missing    %s (present in baseline only)\n", k)
+	}
+}

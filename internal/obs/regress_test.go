@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const benchDocA = `{
+  "experiments": [
+    {"experiment": "figure8", "result": {
+      "MeasuredRawGBs": 5.8,
+      "Points": [
+        {"Engines": 1, "Measured": 29.9, "Paper": 30.0},
+        {"Engines": 2, "Measured": 32.1, "Paper": 32.0}
+      ]
+    }},
+    {"experiment": "throughput", "result": {
+      "Rates": [{"Clients": 8, "PaperQPS": 110.0, "RawGBs": 5.5, "Rows": 12000}]
+    }}
+  ],
+  "metrics": {"counters": {"ignored": 1}}
+}`
+
+// Self-comparison: every gated metric matches itself, zero regressions.
+func TestCompareBaselineSelf(t *testing.T) {
+	rep, err := CompareBaseline([]byte(benchDocA), []byte(benchDocA), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("self-comparison failed: %+v", rep)
+	}
+	// Gated: MeasuredRawGBs, 2× Points/N/Measured, PaperQPS, RawGBs = 5.
+	// Paper reference values, Engines, Clients, Rows are not throughput
+	// metrics of this run and must not be gated.
+	if rep.Checked != 5 {
+		t.Fatalf("checked: got %d, want 5", rep.Checked)
+	}
+	if len(rep.Regressions) != 0 || len(rep.Improvements) != 0 || len(rep.MissingInCurrent) != 0 {
+		t.Fatalf("self-comparison not clean: %+v", rep)
+	}
+}
+
+// A halved throughput metric fails the gate; one inside the tolerance and
+// the non-gated fields do not.
+func TestCompareBaselineRegression(t *testing.T) {
+	current := strings.Replace(benchDocA, `"MeasuredRawGBs": 5.8`, `"MeasuredRawGBs": 2.9`, 1)
+	// -5% on one point: inside the 10% tolerance.
+	current = strings.Replace(current, `"Measured": 32.1`, `"Measured": 30.5`, 1)
+	rep, err := CompareBaseline([]byte(benchDocA), []byte(current), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("50% throughput drop passed the gate")
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions: got %+v, want exactly the halved metric", rep.Regressions)
+	}
+	d := rep.Regressions[0]
+	if d.Metric != "figure8/MeasuredRawGBs" || d.DeltaPct > -49 {
+		t.Fatalf("wrong regression: %+v", d)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("text report: %s", buf.String())
+	}
+}
+
+// Improvements are informational; missing metrics don't fail the gate.
+func TestCompareBaselineImprovementAndMissing(t *testing.T) {
+	current := strings.Replace(benchDocA, `"MeasuredRawGBs": 5.8`, `"MeasuredRawGBs": 9.9`, 1)
+	current = strings.Replace(current,
+		`{"experiment": "throughput", "result": {
+      "Rates": [{"Clients": 8, "PaperQPS": 110.0, "RawGBs": 5.5, "Rows": 12000}]
+    }}`,
+		`{"experiment": "throughput", "result": {"Rates": []}}`, 1)
+	rep, err := CompareBaseline([]byte(benchDocA), []byte(current), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("improvement+missing must still pass: %+v", rep)
+	}
+	if len(rep.Improvements) != 1 || rep.Improvements[0].Metric != "figure8/MeasuredRawGBs" {
+		t.Fatalf("improvements: %+v", rep.Improvements)
+	}
+	if len(rep.MissingInCurrent) != 2 {
+		t.Fatalf("missing: got %v, want the two dropped throughput leaves", rep.MissingInCurrent)
+	}
+}
+
+func TestCompareBaselineBadInput(t *testing.T) {
+	if _, err := CompareBaseline([]byte("not json"), []byte(benchDocA), 10); err == nil {
+		t.Fatal("bad baseline accepted")
+	}
+	if _, err := CompareBaseline([]byte(benchDocA), []byte("not json"), 10); err == nil {
+		t.Fatal("bad current accepted")
+	}
+}

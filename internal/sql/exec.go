@@ -12,6 +12,7 @@ import (
 	"doppiodb/internal/explain"
 	"doppiodb/internal/hal"
 	"doppiodb/internal/mdb"
+	"doppiodb/internal/obs"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/telemetry"
@@ -106,8 +107,11 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 		return nil, err
 	}
 	// Label the serving goroutine so /debug/pprof profiles attribute
-	// samples per session and query (core adds the placement label).
+	// samples per session and query (core adds the placement label), and
+	// thread the same identity down the context so the wide event emitted
+	// at query completion can name the caller.
 	qid := strconv.FormatInt(e.queries.Add(1), 10)
+	ctx = obs.WithQueryInfo(ctx, e.ID, qid)
 	var res *Result
 	pprof.Do(ctx, pprof.Labels("doppio.session", e.ID, "doppio.query", qid),
 		func(ctx context.Context) {

@@ -1,0 +1,67 @@
+// Build identity: a static label set (module path/version, Go toolchain,
+// GOOS/GOARCH) read once from the binary's embedded build information, so
+// every metrics surface — /metrics, doppiobench -json — can say exactly
+// which build produced its numbers.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, read from
+// debug.ReadBuildInfo on first use. Fields degrade to "unknown" when the
+// binary carries no build information (e.g. some test harnesses).
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{
+			Module:    "unknown",
+			Version:   "unknown",
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if bi.Main.Path != "" {
+				buildInfo.Module = bi.Main.Path
+			}
+			if bi.Main.Version != "" {
+				buildInfo.Version = bi.Main.Version
+			}
+			if bi.GoVersion != "" {
+				buildInfo.GoVersion = bi.GoVersion
+			}
+		}
+	})
+	return buildInfo
+}
+
+// PromLine renders the identity as a Prometheus info-style gauge: a
+// constant 1 whose labels carry the build identity.
+func (b BuildInfo) PromLine() string {
+	return fmt.Sprintf("doppio_build_info{module=%q,version=%q,go_version=%q,os=%q,arch=%q} 1",
+		b.Module, b.Version, b.GoVersion, b.OS, b.Arch)
+}
+
+// WritePrometheusBuildInfo appends the build-info gauge (with its # TYPE
+// header) to a Prometheus exposition, the way /metrics serves it.
+func WritePrometheusBuildInfo(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE doppio_build_info gauge\n%s\n", Build().PromLine())
+}

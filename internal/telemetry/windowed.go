@@ -1,0 +1,229 @@
+// Windowed histograms: the sliding-window view the SLO engine reads its
+// latency quantiles from. A WindowedHistogram covers a fixed span of the
+// *simulated* timeline with a ring of rotating sub-window slots (16 by
+// default elsewhere): observations land in the slot their timestamp maps
+// to, a slot whose epoch has passed is zeroed and reused, and a snapshot
+// aggregates only the slots still inside the window. Everything is keyed
+// on caller-provided timestamps — never the wall clock — so runs remain
+// deterministic and bit-identical, per the repo's simulation contract.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// WindowedHistogram is a fixed-bucket histogram over the trailing window of
+// a caller-supplied int64 timeline (the simulated clock, in nanoseconds).
+// The window is divided into equal slots that rotate as time advances; an
+// observation or snapshot with timestamp `now` first expires every slot
+// that fell out of [now-window, now]. All methods are nil-safe.
+type WindowedHistogram struct {
+	mu     sync.Mutex
+	bounds []int64
+	width  int64 // one slot's span of the timeline
+	slots  []windowSlot
+}
+
+// windowSlot is one rotating sub-window.
+type windowSlot struct {
+	start  int64 // timeline position this slot currently covers; -1 = empty
+	counts []int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// NewWindowedHistogram builds a histogram covering the trailing `window` of
+// the timeline, divided into `slots` rotating sub-windows, with the given
+// bucket upper bounds (a bound b means "≤ b"; observations above the last
+// bound land in the overflow bucket). Bounds are sorted and deduplicated.
+// window must be positive; slots < 1 is clamped to 1.
+func NewWindowedHistogram(window int64, slots int, bounds ...int64) *WindowedHistogram {
+	if slots < 1 {
+		slots = 1
+	}
+	if window < int64(slots) {
+		window = int64(slots)
+	}
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	w := &WindowedHistogram{
+		bounds: uniq,
+		width:  window / int64(slots),
+		slots:  make([]windowSlot, slots),
+	}
+	for i := range w.slots {
+		w.slots[i] = windowSlot{start: -1, counts: make([]int64, len(uniq)+1)}
+	}
+	return w
+}
+
+// Window returns the covered span of the timeline (width × slots).
+func (w *WindowedHistogram) Window() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.width * int64(len(w.slots))
+}
+
+// slotFor rotates the ring to `now` and returns the live slot, resetting it
+// if its previous epoch has passed. Caller holds w.mu.
+func (w *WindowedHistogram) slotFor(now int64) *windowSlot {
+	start := now - now%w.width
+	s := &w.slots[(now/w.width)%int64(len(w.slots))]
+	if s.start != start {
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count, s.sum, s.max = 0, 0, 0
+		s.start = start
+	}
+	return s
+}
+
+// Observe records value v at timeline position now (now < 0 is clamped to
+// 0 so the first simulated instant still lands in a slot).
+func (w *WindowedHistogram) Observe(now, v int64) {
+	if w == nil {
+		return
+	}
+	if now < 0 {
+		now = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.slotFor(now)
+	i := sort.Search(len(w.bounds), func(i int) bool { return v <= w.bounds[i] })
+	s.counts[i]++
+	s.count++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Snapshot aggregates the slots still inside the trailing window at `now`
+// into a point-in-time HistogramSnapshot. Slots whose span ended before
+// now-window are excluded (and will be recycled by the next Observe).
+func (w *WindowedHistogram) Snapshot(now int64) HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	if now < 0 {
+		now = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	snap := HistogramSnapshot{
+		Bounds: append([]int64(nil), w.bounds...),
+		Counts: make([]int64, len(w.bounds)+1),
+	}
+	oldest := now - now%w.width - int64(len(w.slots)-1)*w.width
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.start < 0 || s.start < oldest || s.start > now {
+			continue
+		}
+		for j, c := range s.counts {
+			snap.Counts[j] += c
+		}
+		snap.Count += s.count
+		snap.Sum += s.sum
+	}
+	return snap
+}
+
+// Max returns the largest value observed in the trailing window at `now`.
+func (w *WindowedHistogram) Max(now int64) int64 {
+	if w == nil {
+		return 0
+	}
+	if now < 0 {
+		now = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	oldest := now - now%w.width - int64(len(w.slots)-1)*w.width
+	var max int64
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.start < 0 || s.start < oldest || s.start > now {
+			continue
+		}
+		if s.max > max {
+			max = s.max
+		}
+	}
+	return max
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observations inside
+// the trailing window at `now`, by linear interpolation within the bucket
+// the target rank falls in. The estimate is therefore exact to within one
+// bucket's span: values in the overflow bucket report the window maximum.
+// An empty window reports 0.
+func (w *WindowedHistogram) Quantile(now int64, q float64) int64 {
+	snap := w.Snapshot(now)
+	return QuantileFromSnapshot(snap, q, w.Max(now))
+}
+
+// QuantileFromSnapshot estimates the q-quantile from any histogram
+// snapshot; max bounds the overflow bucket's estimate (pass the observed
+// maximum, or the last bound again when unknown).
+func QuantileFromSnapshot(s HistogramSnapshot, q float64, max int64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Target rank, 1-based: the smallest rank covering fraction q.
+	rank := int64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		var lo, hi int64
+		switch {
+		case i < len(s.Bounds):
+			hi = s.Bounds[i]
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+		default:
+			// Overflow bucket: bounded by the observed maximum.
+			if len(s.Bounds) > 0 {
+				lo = s.Bounds[len(s.Bounds)-1]
+			}
+			hi = max
+			if hi < lo {
+				hi = lo
+			}
+		}
+		// Interpolate the rank's position within this bucket, clamped to
+		// the observed maximum so a sparse bucket cannot report a quantile
+		// above any value actually seen.
+		frac := float64(rank-cum) / float64(c)
+		est := lo + int64(frac*float64(hi-lo))
+		if max > 0 && est > max {
+			est = max
+		}
+		return est
+	}
+	return max
+}

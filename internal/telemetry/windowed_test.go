@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// A histogram covering a 160-unit window in 16 slots of 10: observations
+// older than the window must fall out of the snapshot as time advances,
+// and reused slots must be zeroed before accepting new samples.
+func TestWindowedHistogramRotation(t *testing.T) {
+	h := NewWindowedHistogram(160, 16, 10, 100, 1000)
+	h.Observe(0, 5)
+	h.Observe(50, 50)
+	h.Observe(150, 500)
+
+	if got := h.Snapshot(150).Count; got != 3 {
+		t.Fatalf("count at t=150: got %d, want 3 (all slots live)", got)
+	}
+	// t=165: the window is [5, 165]; the slot holding t=0 expired.
+	if got := h.Snapshot(165).Count; got != 2 {
+		t.Fatalf("count at t=165: got %d, want 2 (t=0 slot expired)", got)
+	}
+	// t=215: only the t=150 observation's slot is still inside the window.
+	if got := h.Snapshot(215).Count; got != 1 {
+		t.Fatalf("count at t=215: got %d, want 1", got)
+	}
+	if got := h.Max(215); got != 500 {
+		t.Fatalf("max at t=215: got %d, want 500", got)
+	}
+	// Rotating back onto the slot that held t=0 must zero it first.
+	h.Observe(160, 7)
+	snap := h.Snapshot(160)
+	if snap.Count != 3 {
+		t.Fatalf("count after slot reuse: got %d, want 3", snap.Count)
+	}
+	if snap.Counts[0] != 1 {
+		t.Fatalf("first bucket after reuse: got %d, want exactly the new sample", snap.Counts[0])
+	}
+	// Far future: everything expired.
+	if got := h.Snapshot(10_000).Count; got != 0 {
+		t.Fatalf("count far in the future: got %d, want 0", got)
+	}
+	if got := h.Quantile(10_000, 0.99); got != 0 {
+		t.Fatalf("quantile of empty window: got %d, want 0", got)
+	}
+}
+
+// Golden quantiles over a known uniform distribution: 100 samples at
+// 1..100 into single-unit buckets give exact quantiles, since every
+// bucket holds one sample and interpolation cannot drift.
+func TestWindowedHistogramQuantileGolden(t *testing.T) {
+	bounds := make([]int64, 100)
+	for i := range bounds {
+		bounds[i] = int64(i + 1)
+	}
+	h := NewWindowedHistogram(1000, 10, bounds...)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(0, v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.00, 100}} {
+		if got := h.Quantile(0, tc.q); got != tc.want {
+			t.Errorf("q=%.2f: got %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// Quantile error bound: with log₂-spaced buckets the estimate must land
+// within the true value's bucket, i.e. within a factor of two.
+func TestWindowedHistogramQuantileWithinBucket(t *testing.T) {
+	bounds := []int64{}
+	for b := int64(1); b <= 1<<20; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	h := NewWindowedHistogram(1000, 10, bounds...)
+	// 1000 deterministic samples spread over [1, 1e6] by a fixed stride.
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(0, 1+i*1000)
+	}
+	// True p99 is sample #990 = 990001; its bucket is (2^19, 2^20].
+	got := h.Quantile(0, 0.99)
+	lo, hi := int64(1)<<19, int64(1)<<20
+	if got <= lo || got > hi {
+		t.Fatalf("p99 estimate %d outside its bucket (%d, %d]", got, lo, hi)
+	}
+	// The overflow bucket is capped by the observed max, not infinity.
+	h2 := NewWindowedHistogram(1000, 10, 10)
+	h2.Observe(0, 500)
+	h2.Observe(0, 700)
+	if got := h2.Quantile(0, 1.0); got > 700 {
+		t.Fatalf("overflow-bucket quantile %d exceeds the observed max 700", got)
+	}
+}
+
+func TestWindowedHistogramNilSafe(t *testing.T) {
+	var h *WindowedHistogram
+	h.Observe(0, 1)
+	if h.Snapshot(0).Count != 0 || h.Quantile(0, 0.5) != 0 || h.Max(0) != 0 || h.Window() != 0 {
+		t.Fatal("nil histogram must report zeroes")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.Module == "" || b.GoVersion == "" || b.OS == "" || b.Arch == "" {
+		t.Fatalf("build info has empty fields: %+v", b)
+	}
+	line := b.PromLine()
+	if line == "" {
+		t.Fatal("empty prom line")
+	}
+	for _, want := range []string{"doppio_build_info{", `module="`, `go_version="`, "} 1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("prom line %q missing %q", line, want)
+		}
+	}
+}
