@@ -100,11 +100,19 @@ func main() {
 		baseTol  = flag.Float64("baseline-tol", 10, "regression tolerance for -baseline, in percent")
 		baseRep  = flag.String("baseline-report", "", "write the -baseline delta report to this JSON file")
 		qlogOut  = flag.String("querylog-out", "", "write the retained wide-event query log as JSON Lines to this file")
+		planF    = flag.Bool("plan", false, "print the executed physical-operator plan of every paper query, then exit")
 	)
 	flag.Parse()
 	cfg := experiments.Config{SampleRows: *sampl, Seed: *seed, Selectivity: *sel,
 		Clients: *clients, MeasuredRows: *mrows}
 	jsonMode = *jsonOut
+	if *planF {
+		if err := printPlans(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: -plan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fspec != "" {
 		in, err := faults.NewFromSpec(*fspec)
 		if err != nil {
@@ -169,6 +177,7 @@ func main() {
 		}},
 		{"fig15", func() error { r, err := experiments.Figure15(cfg); render(r, err, out); return err }},
 		{"throughput", func() error { r, err := experiments.Throughput(cfg); render(r, err, out); return err }},
+		{"repeat", func() error { r, err := experiments.Repeat(cfg); render(r, err, out); return err }},
 		{"soak", func() error { r, err := experiments.Soak(cfg); render(r, err, out); return err }},
 		{"platform", func() error { r, err := experiments.Platform(cfg); render(r, err, out); return err }},
 		{"nextgen", func() error { r, err := experiments.NextGen(cfg); render(r, err, out); return err }},

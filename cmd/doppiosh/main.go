@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	doppiosh [-rows N] [-selectivity F] [-tpch SF] [-auto] [-e 'stmt;...']
-//	         [-mon ADDR] [-faults SPEC]
+//	doppiosh [-rows N] [-selectivity F] [-tpch SF] [-auto] [-shared-scans]
+//	         [-e 'stmt;...'] [-mon ADDR] [-faults SPEC]
 //
 // Without -e it reads statements (terminated by `;`) from stdin. -rows
 // preloads `address_table` with the paper's workload; -tpch additionally
@@ -16,7 +16,10 @@
 // Meta-commands: `\metrics` dumps every telemetry counter and gauge of the
 // running system (PU utilization, QPI bytes, DSM status counters, allocator
 // gauges, operator counts), `\trace` prints the last query's lifecycle span
-// tree with simulated and wall-clock durations, `\explain` prints the last
+// tree with simulated and wall-clock durations, `\plan` prints the last
+// query's executed physical-operator tree — per-operator placement
+// (software/fpga/hybrid), plan-cache status, and observed row counts,
+// `\explain` prints the last
 // query's placement decision record — candidate plans with predicted cost
 // terms, the chosen plan's reason, and predicted-vs-actual error per term
 // (`EXPLAIN [ANALYZE] SELECT ...` works as a statement, too), `\health`
@@ -52,6 +55,7 @@ import (
 	"doppiodb/internal/faults"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/mdb"
+	"doppiodb/internal/plan"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/sql"
 	"doppiodb/internal/telemetry"
@@ -65,16 +69,21 @@ var lastTrace *telemetry.Span
 // that carried one, for \explain.
 var lastDecision *explain.Record
 
+// lastPlan is the executed physical-operator tree of the most recent
+// query, for \plan.
+var lastPlan *plan.Node
+
 func main() {
 	var (
-		rows    = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
-		sel     = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
-		tpch    = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
-		auto    = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
-		eval    = flag.String("e", "", "execute these statements and exit")
-		monAddr = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
-		fspec   = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
-		budget  = flag.Duration("query-budget", 0, "per-query simulated deadline (0: none); over-budget queries fail with a deadline error instead of queueing")
+		rows        = flag.Int("rows", 100_000, "preloaded address_table rows (0: none)")
+		sel         = flag.Float64("selectivity", 0.2, "hit selectivity of the preload")
+		tpch        = flag.Float64("tpch", 0, "also load TPC-H customer/orders at this scale factor")
+		auto        = flag.Bool("auto", false, "enable cost-based REGEXP_LIKE offload (§9)")
+		eval        = flag.String("e", "", "execute these statements and exit")
+		monAddr     = flag.String("mon", "", "serve the live monitoring endpoint on this address (e.g. 127.0.0.1:9137)")
+		fspec       = flag.String("faults", "", "hardware fault injection spec, e.g. 'stuck-done=0.2,engine-drop=1@8+3,qpi=0.5,seed=42'")
+		budget      = flag.Duration("query-budget", 0, "per-query simulated deadline (0: none); over-budget queries fail with a deadline error instead of queueing")
+		sharedScans = flag.Bool("shared-scans", false, "coalesce concurrent identical FPGA scans into one HAL job group")
 	)
 	flag.Parse()
 
@@ -84,8 +93,11 @@ func main() {
 		faults.SetDefault(in)
 		fmt.Fprintf(os.Stderr, "fault injection active: %s\n", *fspec)
 	}
-	sys, err := core.NewSystem(core.Options{RegionBytes: 2 << 30})
+	sys, err := core.NewSystem(core.Options{RegionBytes: 2 << 30, SharedScans: *sharedScans})
 	fatal(err)
+	if *sharedScans {
+		fmt.Fprintln(os.Stderr, "shared-scan coalescing enabled")
+	}
 	// Black-box behaviour: when the fault layer degrades a query, the
 	// recorder window lands on stderr; SIGQUIT forces the same dump.
 	sys.Rec.SetSink(os.Stderr)
@@ -198,6 +210,15 @@ func meta(sys *core.System, cmd string) bool {
 			return true
 		}
 		lastTrace.WriteTree(os.Stdout)
+		return true
+	case `\plan`:
+		if lastPlan == nil {
+			fmt.Fprintln(os.Stderr, "no plan captured yet (run a query first)")
+			return true
+		}
+		for _, l := range lastPlan.Lines(true) {
+			fmt.Println(l)
+		}
 		return true
 	case `\explain`:
 		if lastDecision == nil {
@@ -323,6 +344,9 @@ func run(engine *sql.Engine, stmt string) {
 	}
 	if res.Decision != nil {
 		lastDecision = res.Decision
+	}
+	if res.Plan != nil {
+		lastPlan = res.Plan
 	}
 	printTable(res)
 	note := ""

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"doppiodb/internal/config"
+	"doppiodb/internal/token"
+)
+
+// compiled is one pattern's cached compilation artifacts: the Glushkov
+// program, the device-capacity verdict, and — when the program fits — the
+// 512-bit configuration vector. Caching all three means a repeat pattern
+// skips NFA construction and the encode entirely; only the simulated
+// ConfigGenTime charge is waived on a hit, so the artifacts themselves are
+// identical whether they came from the cache or a fresh compile.
+type compiled struct {
+	prog *token.Program
+	vec  []byte
+	fits bool
+}
+
+// compilePattern compiles through the system's config cache. The returned
+// hit flag drives the Config. Gen. phase accounting: a hit charges zero
+// simulated config-gen time.
+func (s *System) compilePattern(pattern string, opts token.Options) (*compiled, bool, error) {
+	key := fmt.Sprintf("f=%t;g=%t;%s", opts.FoldCase, opts.NoGapHold, pattern)
+	if v, ok := s.Configs.Get(key); ok {
+		return v.(*compiled), true, nil
+	}
+	prog, err := token.CompilePattern(pattern, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	lim := s.Device.Deployment.Limits
+	cp := &compiled{prog: prog, fits: config.Fits(prog, lim) == nil}
+	if cp.fits {
+		vec, err := config.Encode(prog, lim)
+		if err != nil {
+			return nil, false, err
+		}
+		cp.vec = vec
+	}
+	s.Configs.Put(key, cp)
+	return cp, false, nil
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"runtime/pprof"
+	"sync"
 
 	"doppiodb/internal/bat"
 	"doppiodb/internal/config"
@@ -30,6 +31,7 @@ import (
 	"doppiodb/internal/mdb"
 	"doppiodb/internal/obs"
 	"doppiodb/internal/perf"
+	"doppiodb/internal/plan"
 	"doppiodb/internal/shmem"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/softregex"
@@ -86,6 +88,12 @@ type Options struct {
 	// (query log + SLO engine). Nil selects the process-wide default
 	// observer.
 	Obs *obs.Observer
+	// SharedScans enables the multi-query shared-scan coalescer:
+	// concurrent queries over the same BAT with the same pattern merge
+	// into one HAL job group whose result fans back out per query. Off by
+	// default — coalescing intentionally changes measured throughput, so
+	// the benchmark figures opt in explicitly.
+	SharedScans bool
 }
 
 // System is a running doppioDB instance on the simulated Xeon+FPGA machine.
@@ -106,6 +114,15 @@ type System struct {
 	Retry RetryPolicy
 	// Obs is the wide-event query log and SLO engine every query feeds.
 	Obs *obs.Observer
+	// Configs caches compiled regex artifacts (program + config vector) so
+	// repeat patterns skip Glushkov construction and the 512-bit encode.
+	Configs *plan.Cache
+	// SharedScans turns on the shared-scan coalescer (see Options).
+	SharedScans bool
+
+	// scanMu guards inflight, the shared-scan coalescer's leader table.
+	scanMu   sync.Mutex
+	inflight map[scanKey]*scanShare
 }
 
 // NewSystem boots the platform: programs the FPGA, maps the shared region,
@@ -153,16 +170,19 @@ func NewSystem(opts Options) (*System, error) {
 	ob.SetTelemetry(tel)
 	ob.SetRecorder(rec)
 	s := &System{
-		Region: region,
-		Device: dev,
-		HAL:    h,
-		DB:     mdb.New(region),
-		Model:  model,
-		Tel:    tel,
-		Rec:    rec,
-		Audit:  aud,
-		Retry:  DefaultRetryPolicy(),
-		Obs:    ob,
+		Region:      region,
+		Device:      dev,
+		HAL:         h,
+		DB:          mdb.New(region),
+		Model:       model,
+		Tel:         tel,
+		Rec:         rec,
+		Audit:       aud,
+		Retry:       DefaultRetryPolicy(),
+		Obs:         ob,
+		Configs:     plan.NewCache(128, tel, "core.config_cache"),
+		SharedScans: opts.SharedScans,
+		inflight:    make(map[scanKey]*scanShare),
 	}
 	if opts.Retry != nil {
 		s.Retry = *opts.Retry
@@ -219,6 +239,13 @@ type Result struct {
 	// actual figures filled in — candidate plans, predicted cost terms,
 	// per-term prediction error. Nil when the estimate itself failed.
 	Decision *explain.Record
+	// ConfigCached reports that the compiled config vector came from the
+	// config cache: the query charged zero simulated config-gen time.
+	ConfigCached bool
+	// Shared marks a follower of a coalesced shared scan: the result BAT
+	// was fanned out from another query's job group, and this result
+	// carries no hardware traffic of its own.
+	Shared bool
 }
 
 // Total returns the simulated response time.
@@ -293,13 +320,13 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	root.SetAttr("rows", int64(col.Count()))
 	s.Tel.Counter("core.queries").Inc()
 
-	prog, err := token.CompilePattern(pattern, opts)
+	cp, cached, err := s.compilePattern(pattern, opts)
 	if err != nil {
 		return nil, err
 	}
 	lim := s.Device.Deployment.Limits
 	placement := "fpga"
-	if config.Fits(prog, lim) != nil {
+	if !cp.fits {
 		placement = "hybrid"
 	}
 	if rec != nil && !rec.Offloads() {
@@ -328,53 +355,61 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 		}
 		attempt := func() (*Result, error) {
 			if placement == "fpga" {
-				return s.execDirect(ctx, col, prog, pattern, root)
+				return s.execDirect(ctx, col, cp, cached, root)
 			}
 			return s.execHybrid(ctx, col, hwPat, swPat, opts, root)
 		}
-		res, err = attempt()
-		// Query-level retry: a transient fault (watchdog timeout, handshake
-		// loss, single-engine drop) may heal between attempts — readmission
-		// probes run, wedged engines recover — so re-run the hardware attempt
-		// under the per-query budget, charging the exponential backoff (plus
-		// deterministic seeded jitter) as simulated PhaseRetry time. Permanent
-		// faults and admission errors (ErrOverload, ErrDeadlineExceeded) skip
-		// straight past this loop.
-		for err != nil && hal.IsTransient(err) &&
-			retries < s.Retry.MaxRetries && ctx.Err() == nil {
-			d := s.Retry.Delay(retries, pattern)
-			retries++
-			backoff += d
-			s.Tel.Counter("core.retry.attempts").Inc()
-			s.Rec.Record(flightrec.Event{
-				Type:   flightrec.EvRetry,
-				Sim:    s.HAL.SimEpoch(),
-				Engine: -1,
-				Unit:   -1,
-				Arg:    int64(d / sim.Nanosecond),
-				Note:   err.Error(),
-			})
-			res, err = attempt()
+		run := func() (*Result, error) {
+			r, rErr := attempt()
+			// Query-level retry: a transient fault (watchdog timeout, handshake
+			// loss, single-engine drop) may heal between attempts — readmission
+			// probes run, wedged engines recover — so re-run the hardware attempt
+			// under the per-query budget, charging the exponential backoff (plus
+			// deterministic seeded jitter) as simulated PhaseRetry time. Permanent
+			// faults and admission errors (ErrOverload, ErrDeadlineExceeded) skip
+			// straight past this loop.
+			for rErr != nil && hal.IsTransient(rErr) &&
+				retries < s.Retry.MaxRetries && ctx.Err() == nil {
+				d := s.Retry.Delay(retries, pattern)
+				retries++
+				backoff += d
+				s.Tel.Counter("core.retry.attempts").Inc()
+				s.Rec.Record(flightrec.Event{
+					Type:   flightrec.EvRetry,
+					Sim:    s.HAL.SimEpoch(),
+					Engine: -1,
+					Unit:   -1,
+					Arg:    int64(d / sim.Nanosecond),
+					Note:   rErr.Error(),
+				})
+				r, rErr = attempt()
+			}
+			if retries > 0 && rErr == nil {
+				s.Tel.Counter("core.retry.recovered").Inc()
+			}
+			if rErr != nil && hal.IsFault(rErr) {
+				// The hardware path is wedged beyond the HAL's and the query's
+				// retries (the partially submitted jobs were already discarded):
+				// degrade to the software operator. The flight recorder marks the
+				// degradation and dumps its window — the black-box forensics of
+				// what the hardware did leading up to it.
+				s.Tel.Counter("core.fallback.software").Inc()
+				s.Rec.Record(flightrec.Event{
+					Type:   flightrec.EvDegrade,
+					Sim:    s.HAL.SimEpoch(),
+					Engine: -1,
+					Unit:   -1,
+					Note:   rErr.Error(),
+				})
+				s.Rec.DumpOnDegrade(rErr.Error())
+				r, rErr = s.execSoftware(ctx, col, pattern, opts, root, rErr)
+			}
+			return r, rErr
 		}
-		if retries > 0 && err == nil {
-			s.Tel.Counter("core.retry.recovered").Inc()
-		}
-		if err != nil && hal.IsFault(err) {
-			// The hardware path is wedged beyond the HAL's and the query's
-			// retries (the partially submitted jobs were already discarded):
-			// degrade to the software operator. The flight recorder marks the
-			// degradation and dumps its window — the black-box forensics of
-			// what the hardware did leading up to it.
-			s.Tel.Counter("core.fallback.software").Inc()
-			s.Rec.Record(flightrec.Event{
-				Type:   flightrec.EvDegrade,
-				Sim:    s.HAL.SimEpoch(),
-				Engine: -1,
-				Unit:   -1,
-				Note:   err.Error(),
-			})
-			s.Rec.DumpOnDegrade(err.Error())
-			res, err = s.execSoftware(ctx, col, pattern, opts, root, err)
+		if s.SharedScans {
+			res, err = s.sharedExec(ctx, scanKey{col: col, pattern: pattern, fold: opts.FoldCase}, root, run)
+		} else {
+			res, err = run()
 		}
 	})
 	if err != nil {
@@ -387,6 +422,8 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	if rec != nil {
 		rec.Retries = retries
 		rec.RetryBackoffNS = int64(backoff / sim.Nanosecond)
+		rec.ConfigCached = res.ConfigCached
+		rec.SharedScan = res.Shared
 	}
 	root.End()
 	root.AddSim(res.Total())
@@ -414,22 +451,32 @@ func (s *System) ExecLike(ctx context.Context, col *bat.Strings, like string, fo
 // (the FPGA parallelizes a single query by horizontally partitioning the
 // input, §7.5): submit the partitions, dispatch them to the device runtime
 // as one group, and await the per-job completion records.
-func (s *System) execDirect(ctx context.Context, col *bat.Strings, prog *token.Program, pattern string, parent *telemetry.Span) (*Result, error) {
+func (s *System) execDirect(ctx context.Context, col *bat.Strings, cp *compiled, cached bool, parent *telemetry.Span) (*Result, error) {
 	var bd sim.Counter
 	bd.Add(PhaseDatabase, s.Model.DatabaseOverhead)
 	parent.NewChild("bat-scan").AddSim(s.Model.DatabaseOverhead)
 	bd.Add(PhaseUDF, s.Model.UDFOverhead)
 	parent.NewChild("hudf-software").AddSim(s.Model.UDFOverhead)
 
-	// Step 3: convert the expression into a configuration vector.
+	// Step 3: convert the expression into a configuration vector. A config
+	// cache hit reuses the compiled vector: the span stays in the trace for
+	// shape stability, but the simulated config-gen time is zero.
 	cg := parent.StartChild("config-gen")
-	vec, err := config.Encode(prog, s.Device.Deployment.Limits)
-	if err != nil {
-		return nil, err
+	vec := cp.vec
+	if vec == nil {
+		var err error
+		vec, err = config.Encode(cp.prog, s.Device.Deployment.Limits)
+		if err != nil {
+			return nil, err
+		}
 	}
-	bd.Add(PhaseConfigGen, s.Model.ConfigGenTime)
 	cg.End()
-	cg.AddSim(s.Model.ConfigGenTime)
+	if cached {
+		cg.SetAttr("cached", int64(1))
+	} else {
+		bd.Add(PhaseConfigGen, s.Model.ConfigGenTime)
+		cg.AddSim(s.Model.ConfigGenTime)
+	}
 	cg.SetAttr("vector_bytes", int64(len(vec)))
 
 	// Step 3: allocate the result BAT (in CPU-FPGA shared memory).
@@ -524,10 +571,11 @@ func (s *System) execDirect(ctx context.Context, col *bat.Strings, prog *token.P
 	coll.SetAttr("result_bytes", int64(col.Count()*2))
 
 	return &Result{
-		Matches:    result,
-		MatchCount: matches,
-		HW:         hw,
-		Breakdown:  &bd,
+		Matches:      result,
+		MatchCount:   matches,
+		HW:           hw,
+		Breakdown:    &bd,
+		ConfigCached: cached,
 	}, nil
 }
 
@@ -573,11 +621,11 @@ func (s *System) submitPartitioned(ctx context.Context, vec []byte, col *bat.Str
 // execHybrid runs the prefix on the FPGA and post-processes matching rows
 // in software (§7.8).
 func (s *System) execHybrid(ctx context.Context, col *bat.Strings, hwPat, swPat string, opts token.Options, parent *telemetry.Span) (*Result, error) {
-	prog, err := token.CompilePattern(hwPat, opts)
+	cp, cached, err := s.compilePattern(hwPat, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.execDirect(ctx, col, prog, hwPat, parent)
+	res, err := s.execDirect(ctx, col, cp, cached, parent)
 	if err != nil {
 		return nil, err
 	}

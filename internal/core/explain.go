@@ -173,11 +173,12 @@ func (s *System) FinishSoftware(rec *explain.Record, w perf.Work) {
 	t := s.Model.MonetDBScan(w, true)
 	rec.Finish(explain.Cost{SoftwareNS: ns(t), TotalNS: ns(t)})
 	s.Obs.ObserveQuery(obs.Event{
-		SimNS:     ns(s.HAL.SimEpoch()),
-		Pattern:   rec.Pattern,
-		Placement: "software",
-		Outcome:   obs.OutcomeCompleted,
-		Rows:      rec.Rows,
-		TotalNS:   ns(t),
+		SimNS:      ns(s.HAL.SimEpoch()),
+		Pattern:    rec.Pattern,
+		Placement:  "software",
+		Outcome:    obs.OutcomeCompleted,
+		Rows:       rec.Rows,
+		TotalNS:    ns(t),
+		PlanCached: rec.PlanCacheHit,
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 
 	"doppiodb/internal/bat"
+	"doppiodb/internal/explain"
 	"doppiodb/internal/hal"
 	"doppiodb/internal/obs"
 	"doppiodb/internal/sim"
@@ -67,6 +68,11 @@ func (s *System) observeQuery(ctx context.Context, col *bat.Strings, pattern, pl
 	ev.Bytes = res.HW.Bytes
 	ev.Jobs = res.HW.Jobs
 	ev.Hybrid = res.Hybrid
+	ev.Shared = res.Shared
+	ev.PlanCached = res.ConfigCached
+	if rec := explain.FromContext(ctx); rec != nil && rec.PlanCacheHit {
+		ev.PlanCached = true
+	}
 	ev.QueueNS = ns(res.HW.QueueWait)
 	ev.TotalNS = ns(res.Total())
 	if bd := res.Breakdown; bd != nil {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+
+	"doppiodb/internal/bat"
+	"doppiodb/internal/sim"
+	"doppiodb/internal/telemetry"
+)
+
+// scanKey identifies a coalescable scan: same BAT, same pattern, same
+// collation. Concurrent queries with equal keys ride one HAL job group.
+type scanKey struct {
+	col     *bat.Strings
+	pattern string
+	fold    bool
+}
+
+// scanShare is one in-flight leader scan that followers wait on.
+type scanShare struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// sharedExec is the shared-scan coalescer. The first query to arrive for a
+// key becomes the leader and runs the hardware scan; queries that arrive
+// while it is in flight become followers: they wait on the leader's
+// completion and fan its result BAT back out as their own, without
+// dispatching a job group. Attribution stays per-query — a follower's
+// result carries zero hardware traffic (the bytes crossed QPI once, for
+// the leader) and is marked Shared so downstream stats don't bleed.
+//
+// If the leader fails, its followers retry from the top: one of them
+// becomes the new leader rather than inheriting an error that may have
+// been the leader's alone (its cancellation, its deadline).
+func (s *System) sharedExec(ctx context.Context, key scanKey, parent *telemetry.Span, run func() (*Result, error)) (*Result, error) {
+	for {
+		s.scanMu.Lock()
+		if sh, ok := s.inflight[key]; ok {
+			s.scanMu.Unlock()
+			wait := parent.StartChild("shared-scan-await")
+			select {
+			case <-sh.done:
+			case <-ctx.Done():
+				wait.End()
+				return nil, ctx.Err()
+			}
+			wait.End()
+			if sh.err != nil {
+				continue
+			}
+			s.Tel.Counter("core.sharedscan.followers").Inc()
+			return followerResult(sh.res), nil
+		}
+		sh := &scanShare{done: make(chan struct{})}
+		s.inflight[key] = sh
+		s.scanMu.Unlock()
+		s.Tel.Counter("core.sharedscan.leaders").Inc()
+		res, err := run()
+		sh.res, sh.err = res, err
+		s.scanMu.Lock()
+		delete(s.inflight, key)
+		s.scanMu.Unlock()
+		close(sh.done)
+		return res, err
+	}
+}
+
+// followerResult derives a follower's Result from the leader's. The result
+// BAT is shared (it is read-only downstream); the phase breakdown is
+// cloned so the follower reports the same simulated response time; the
+// hardware traffic is zeroed except the timing figures, because the bytes,
+// grants and jobs belong to the leader's accounting alone.
+func followerResult(leader *Result) *Result {
+	var bd sim.Counter
+	if leader.Breakdown != nil {
+		for _, ph := range leader.Breakdown.Phases() {
+			bd.Add(ph, leader.Breakdown.Get(ph))
+		}
+	}
+	return &Result{
+		Matches:       leader.Matches,
+		MatchCount:    leader.MatchCount,
+		Hybrid:        leader.Hybrid,
+		HWPart:        leader.HWPart,
+		SWPart:        leader.SWPart,
+		Degraded:      leader.Degraded,
+		DegradedCause: leader.DegradedCause,
+		HW: HWStats{
+			Time:      leader.HW.Time,
+			QueueWait: leader.HW.QueueWait,
+		},
+		Breakdown:    &bd,
+		Shared:       true,
+		ConfigCached: leader.ConfigCached,
+	}
+}

@@ -118,6 +118,15 @@ func (a *Auditor) Observe(r *Record) {
 		tel.Counter("calib.skipped_degraded").Inc()
 		return
 	}
+	if r.SharedScan {
+		// A follower's actuals describe a coalesced job group, not the plan
+		// the model priced for this query alone.
+		a.skipped++
+		tel := a.tel
+		a.mu.Unlock()
+		tel.Counter("calib.skipped_shared").Inc()
+		return
+	}
 	a.ring[a.head] = r
 	a.head = (a.head + 1) % len(a.ring)
 	if a.count < len(a.ring) {

@@ -145,8 +145,41 @@ type Record struct {
 	// Errors compares predicted vs actual per term (terms absent from both
 	// sides are omitted).
 	Errors []TermError `json:"errors,omitempty"`
+	// PlanCacheHit marks a record cloned from the plan cache: the placement
+	// decision was reused, not re-derived.
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
+	// ConfigCached marks a run that reused a compiled regex config vector,
+	// skipping Glushkov construction and the 512-bit encode.
+	ConfigCached bool `json:"config_cached,omitempty"`
+	// SharedScan marks a follower query whose scan was coalesced into
+	// another query's HAL job group — its actuals describe shared work, so
+	// the calibration auditor skips it.
+	SharedScan bool `json:"shared_scan,omitempty"`
 
 	auditor *Auditor
+}
+
+// Clone copies the planning-time half of a record for reuse from the plan
+// cache: candidates, the chosen plan and its statistics survive; execution
+// state (actuals, errors, degradation, retries) and the auditor hook are
+// reset so the clone tells only its own query's story.
+func (r *Record) Clone() *Record {
+	if r == nil {
+		return nil
+	}
+	c := &Record{
+		Pattern:      r.Pattern,
+		Rows:         r.Rows,
+		AvgLen:       r.AvgLen,
+		QueuedBytes:  r.QueuedBytes,
+		States:       r.States,
+		Chars:        r.Chars,
+		Candidates:   append([]Candidate(nil), r.Candidates...),
+		Chosen:       r.Chosen,
+		Reason:       r.Reason,
+		PlanCacheHit: true,
+	}
+	return c
 }
 
 // Candidate returns the candidate for a placement (nil when absent).
@@ -308,6 +341,12 @@ func (r *Record) Lines() []string {
 		out = append(out, line)
 	}
 	out = append(out, fmt.Sprintf("chosen: %s — %s", r.Chosen, r.Reason))
+	if r.PlanCacheHit {
+		out = append(out, "plan cache: hit — placement reused without re-estimation")
+	}
+	if r.ConfigCached {
+		out = append(out, "config cache: hit — compiled vector reused, config-gen skipped")
+	}
 	return out
 }
 
@@ -340,6 +379,9 @@ func (r *Record) AnalyzeLines() []string {
 	}
 	if r.Degraded {
 		out = append(out, "degraded: software fallback ("+r.DegradedCause+")")
+	}
+	if r.SharedScan {
+		out = append(out, "shared scan: follower — results fanned out from a coalesced job group")
 	}
 	return out
 }

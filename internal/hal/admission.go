@@ -273,6 +273,8 @@ func (h *HAL) enqueueLocked(jobs []*Job, bytes int64, budget sim.Time) {
 	if budget > 0 {
 		g.deadline = h.simEpoch + budget
 	}
+	h.dispatchedGroups++
+	h.tel.Counter("hal.dispatch.groups").Inc()
 	for _, j := range jobs {
 		j.group = g
 		h.rec.Record(flightrec.Event{

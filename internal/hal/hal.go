@@ -174,19 +174,23 @@ type HAL struct {
 	// peak* are backlog high-water marks (soak asserts them vs. the caps).
 	blockedWaiters                  int
 	peakGroups, peakJobs, peakBytes int64
-	resetting                       bool // fabric reset in progress (health state machine)
-	paused                          bool // admission suspended (tests observe queue buildup)
-	closed                          bool
-	loopOn    bool    // event-loop goroutine started
-	queuedVol []int64 // per-engine running byte totals (the Distributor's index)
-	health    []engineHealth
-	dsmAddr   shmem.Addr
-	poolAddr  shmem.Addr
-	poolNext  int
-	blockFree []blockRef
-	queueAddr shmem.Addr
-	queueLen  int // live reservations against queueSlots
-	slotNext  int // next descriptor slot in the shared-memory queue
+	// dispatchedGroups counts every job group admitted to the backlog over
+	// the HAL's lifetime — the denominator of shared-scan coalescing (N
+	// identical queries riding one group dispatch fewer groups than queries).
+	dispatchedGroups int64
+	resetting        bool // fabric reset in progress (health state machine)
+	paused           bool // admission suspended (tests observe queue buildup)
+	closed           bool
+	loopOn           bool    // event-loop goroutine started
+	queuedVol        []int64 // per-engine running byte totals (the Distributor's index)
+	health           []engineHealth
+	dsmAddr          shmem.Addr
+	poolAddr         shmem.Addr
+	poolNext         int
+	blockFree        []blockRef
+	queueAddr        shmem.Addr
+	queueLen         int // live reservations against queueSlots
+	slotNext         int // next descriptor slot in the shared-memory queue
 }
 
 // New boots the HAL: it performs the AAL handshake (allocating the DSM page
@@ -672,4 +676,13 @@ func (h *HAL) QueuedBytes() int64 {
 		total += v
 	}
 	return total
+}
+
+// DispatchedGroups returns the lifetime count of job groups admitted to
+// the backlog. With shared-scan coalescing on, N concurrent identical
+// queries advance this by fewer than N.
+func (h *HAL) DispatchedGroups() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dispatchedGroups
 }

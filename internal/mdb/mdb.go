@@ -98,7 +98,13 @@ type Table struct {
 	cols   []*Column
 	byName map[string]*Column
 	rows   int
+	// version counts mutations; plan caches key on it so a cached plan is
+	// invalidated the moment the table changes shape.
+	version int64
 }
+
+// Version returns the table's mutation counter.
+func (t *Table) Version() int64 { return t.version }
 
 // Columns returns the table's columns in declaration order.
 func (t *Table) Columns() []*Column { return t.cols }
@@ -156,6 +162,7 @@ func (t *Table) AppendRow(vals ...any) error {
 		}
 	}
 	t.rows++
+	t.version++
 	return nil
 }
 

@@ -80,6 +80,11 @@ type Event struct {
 	Jobs int `json:"jobs,omitempty"`
 	// Hybrid marks split execution (FPGA prefix + software tail).
 	Hybrid bool `json:"hybrid,omitempty"`
+	// PlanCached marks a query answered from a plan-cache hit (compiled
+	// config vector reused, config-gen skipped).
+	PlanCached bool `json:"plan_cache_hit,omitempty"`
+	// Shared marks a follower query whose scan rode a coalesced job group.
+	Shared bool `json:"shared_scan,omitempty"`
 	// Retries and BackoffNS account the query-level retry loop.
 	Retries   int   `json:"retries,omitempty"`
 	BackoffNS int64 `json:"retry_backoff_ns,omitempty"`

@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+
+	"doppiodb/internal/telemetry"
+)
+
+// Cache is a bounded LRU used for compiled artifacts along the query path:
+// the SQL engine keys it by normalized statement + table versions to cache
+// parsed plans and placement decisions, and core keys it by pattern to
+// cache compiled regex config vectors. All methods are nil-receiver safe so
+// callers can leave caching unwired.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List
+	idx map[string]*list.Element
+
+	hits, misses, evictions *telemetry.Counter
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache builds an LRU holding up to capacity entries and registers
+// prefix_{hits,misses,evictions} counters on tel (tel may be nil).
+func NewCache(capacity int, tel *telemetry.Registry, prefix string) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:       capacity,
+		lru:       list.New(),
+		idx:       make(map[string]*list.Element),
+		hits:      tel.Counter(prefix + "_hits"),
+		misses:    tel.Counter(prefix + "_misses"),
+		evictions: tel.Counter(prefix + "_evictions"),
+	}
+}
+
+// Get returns the cached value and whether it was present, promoting the
+// entry to most-recently-used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes an entry, evicting the least-recently-used
+// entry when the cache is full.
+func (c *Cache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		tail := c.lru.Back()
+		if tail != nil {
+			c.lru.Remove(tail)
+			delete(c.idx, tail.Value.(*cacheEntry).key)
+			c.evictions.Inc()
+		}
+	}
+	c.idx[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Len reports the live entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,525 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+)
+
+// ScanOut is what a leaf's bound run closure produces: either materialized
+// rows or a pure tally (count-only scans that never leave the BAT layer).
+type ScanOut struct {
+	Rows      [][]any
+	Tally     int64
+	TallyOnly bool
+}
+
+// leaf is the shared chassis for source operators. The planner binds a run
+// closure that performs the actual scan (BAT select, UDF offload, software
+// regex, ...); the leaf handles batching and row accounting.
+type leaf struct {
+	info Info
+	run  func(ctx context.Context) (ScanOut, error)
+
+	out  ScanOut
+	pos  int
+	done bool
+}
+
+func (l *leaf) Open(ctx context.Context) error {
+	out, err := l.run(ctx)
+	if err != nil {
+		return err
+	}
+	l.out, l.pos, l.done = out, 0, false
+	return nil
+}
+
+func (l *leaf) Next(ctx context.Context) (*Batch, error) {
+	if l.done {
+		return nil, nil
+	}
+	if l.out.TallyOnly {
+		l.done = true
+		l.info.RowsOut += l.out.Tally
+		return &Batch{Tally: l.out.Tally}, nil
+	}
+	if l.pos >= len(l.out.Rows) {
+		l.done = true
+		return nil, nil
+	}
+	end := l.pos + BatchSize
+	if end > len(l.out.Rows) {
+		end = len(l.out.Rows)
+	}
+	b := &Batch{Rows: l.out.Rows[l.pos:end]}
+	l.pos = end
+	l.info.RowsOut += int64(len(b.Rows))
+	return b, nil
+}
+
+func (l *leaf) Close() error         { l.out = ScanOut{}; return nil }
+func (l *leaf) Info() *Info          { return &l.info }
+func (l *leaf) Children() []Operator { return nil }
+
+// Scan materializes a base table or a derived (subquery) table. For a
+// derived table the planner stores the subquery's plan in Sub so the full
+// tree renders through the scan.
+type Scan struct {
+	leaf
+	// Sub is the snapshot of a derived table's own plan, if any.
+	Sub *Node
+}
+
+// NewScan builds a table scan leaf.
+func NewScan(detail string, run func(ctx context.Context) (ScanOut, error)) *Scan {
+	return &Scan{leaf: leaf{info: Info{Name: "Scan", Detail: detail, Placement: "software"}, run: run}}
+}
+
+// FPGARegexScan is a scan whose regex predicate was offloaded to the FPGA
+// (or split hybrid FPGA+CPU). Placement comes from the cost model.
+type FPGARegexScan struct{ leaf }
+
+// NewFPGARegexScan builds an offloaded regex scan leaf.
+func NewFPGARegexScan(detail, placement string, run func(ctx context.Context) (ScanOut, error)) *FPGARegexScan {
+	return &FPGARegexScan{leaf{info: Info{Name: "FPGARegexScan", Detail: detail, Placement: placement}, run: run}}
+}
+
+// SoftRegexFilter is a scan whose string predicate (LIKE or regex) runs on
+// the CPU over the BAT.
+type SoftRegexFilter struct{ leaf }
+
+// NewSoftRegexFilter builds a software string-predicate scan leaf.
+func NewSoftRegexFilter(detail string, run func(ctx context.Context) (ScanOut, error)) *SoftRegexFilter {
+	return &SoftRegexFilter{leaf{info: Info{Name: "SoftRegexFilter", Detail: detail, Placement: "software"}, run: run}}
+}
+
+// IndexLookup is a dictionary/index-backed predicate scan (CONTAINS).
+type IndexLookup struct{ leaf }
+
+// NewIndexLookup builds an index-backed scan leaf.
+func NewIndexLookup(detail string, run func(ctx context.Context) (ScanOut, error)) *IndexLookup {
+	return &IndexLookup{leaf{info: Info{Name: "IndexLookup", Detail: detail, Placement: "software"}, run: run}}
+}
+
+// Filter applies a row predicate bound by the planner.
+type Filter struct {
+	Child Operator
+	Pred  func(row []any) (bool, error)
+	info  Info
+}
+
+// NewFilter wraps child with a predicate.
+func NewFilter(child Operator, detail string, pred func(row []any) (bool, error)) *Filter {
+	return &Filter{Child: child, Pred: pred, info: Info{Name: "Filter", Detail: detail}}
+}
+
+func (f *Filter) Open(ctx context.Context) error { return f.Child.Open(ctx) }
+
+func (f *Filter) Next(ctx context.Context) (*Batch, error) {
+	for {
+		b, err := f.Child.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if b.Tally != 0 {
+			return nil, fmt.Errorf("plan: Filter cannot evaluate a tally-only batch")
+		}
+		out := b.Rows[:0:0]
+		for _, row := range b.Rows {
+			ok, err := f.Pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, row)
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		f.info.RowsOut += int64(len(out))
+		return &Batch{Rows: out}, nil
+	}
+}
+
+func (f *Filter) Close() error         { return f.Child.Close() }
+func (f *Filter) Info() *Info          { return &f.info }
+func (f *Filter) Children() []Operator { return []Operator{f.Child} }
+
+// HashJoin joins two inputs on an equi-key: the right side is drained into
+// a hash table at Open, the left side streams through Next in input order
+// (preserving the legacy executor's ordering guarantees).
+type HashJoin struct {
+	Left, Right Operator
+	// LeftKey / RightKey extract the join key; a nil key never matches.
+	LeftKey, RightKey func(row []any) (any, error)
+	// RightWidth is the right relation's column count, used for LEFT OUTER
+	// null padding.
+	RightWidth int
+	LeftOuter  bool
+	// RightPre filters right rows before they enter the hash table
+	// (pushdown of right-only residual conjuncts).
+	RightPre func(row []any) (bool, error)
+	// Pair evaluates mixed residual conjuncts on a joined pair.
+	Pair func(pair []any) (bool, error)
+	// Account reports input cardinalities once both sides are drained, so
+	// the planner can keep legacy Work bookkeeping.
+	Account func(leftRows, rightRows int)
+
+	info      Info
+	table     map[any][]([]any)
+	leftRows  int
+	rightRows int
+}
+
+// NewHashJoin builds an equi-join operator; the planner fills the key and
+// residual closures after construction.
+func NewHashJoin(left, right Operator, detail string) *HashJoin {
+	return &HashJoin{Left: left, Right: right, info: Info{Name: "HashJoin", Detail: detail}}
+}
+
+func (j *HashJoin) Open(ctx context.Context) error {
+	// Open left before draining right: derived tables execute in the same
+	// order as the legacy executor, so UDF/trace side effects line up.
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	j.table = make(map[any][]([]any))
+	for {
+		b, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, row := range b.Rows {
+			j.rightRows++
+			if j.RightPre != nil {
+				ok, err := j.RightPre(row)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			k, err := j.RightKey(row)
+			if err != nil {
+				return err
+			}
+			if k == nil {
+				continue
+			}
+			j.table[k] = append(j.table[k], row)
+		}
+	}
+	return nil
+}
+
+func (j *HashJoin) Next(ctx context.Context) (*Batch, error) {
+	for {
+		b, err := j.Left.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			if j.Account != nil {
+				j.Account(j.leftRows, j.rightRows)
+				j.Account = nil
+			}
+			return nil, nil
+		}
+		var out [][]any
+		for _, lrow := range b.Rows {
+			j.leftRows++
+			matched := false
+			k, err := j.LeftKey(lrow)
+			if err != nil {
+				return nil, err
+			}
+			if k != nil {
+				for _, rrow := range j.table[k] {
+					pair := make([]any, 0, len(lrow)+len(rrow))
+					pair = append(pair, lrow...)
+					pair = append(pair, rrow...)
+					if j.Pair != nil {
+						ok, err := j.Pair(pair)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							continue
+						}
+					}
+					matched = true
+					out = append(out, pair)
+				}
+			}
+			if !matched && j.LeftOuter {
+				pair := make([]any, 0, len(lrow)+j.RightWidth)
+				pair = append(pair, lrow...)
+				for i := 0; i < j.RightWidth; i++ {
+					pair = append(pair, nil)
+				}
+				out = append(out, pair)
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		j.info.RowsOut += int64(len(out))
+		return &Batch{Rows: out}, nil
+	}
+}
+
+func (j *HashJoin) Close() error {
+	j.table = nil
+	err := j.Left.Close()
+	if e := j.Right.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+func (j *HashJoin) Info() *Info          { return &j.info }
+func (j *HashJoin) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+// GroupAggregate blocks: it drains its child and folds the rows. CountStar
+// handles the count(*) fast shapes (tally batches fold straight into the
+// count); general grouping goes through the planner-bound Fold.
+type GroupAggregate struct {
+	Child     Operator
+	CountStar bool
+	Fold      func(rows [][]any) ([][]any, error)
+
+	info Info
+	out  [][]any
+	pos  int
+	done bool
+}
+
+// NewGroupAggregate builds the blocking aggregation operator.
+func NewGroupAggregate(child Operator, detail string) *GroupAggregate {
+	return &GroupAggregate{Child: child, info: Info{Name: "GroupAggregate", Detail: detail}}
+}
+
+func (g *GroupAggregate) Open(ctx context.Context) error { return g.Child.Open(ctx) }
+
+func (g *GroupAggregate) Next(ctx context.Context) (*Batch, error) {
+	if g.done {
+		return nil, nil
+	}
+	if g.out == nil {
+		var rows [][]any
+		var tally int64
+		for {
+			b, err := g.Child.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			tally += b.Tally
+			rows = append(rows, b.Rows...)
+		}
+		if g.CountStar {
+			g.out = [][]any{{tally + int64(len(rows))}}
+		} else {
+			out, err := g.Fold(rows)
+			if err != nil {
+				return nil, err
+			}
+			g.out = out
+			if g.out == nil {
+				g.out = [][]any{}
+			}
+		}
+	}
+	if g.pos >= len(g.out) {
+		g.done = true
+		return nil, nil
+	}
+	end := g.pos + BatchSize
+	if end > len(g.out) {
+		end = len(g.out)
+	}
+	b := &Batch{Rows: g.out[g.pos:end]}
+	g.pos = end
+	g.info.RowsOut += int64(len(b.Rows))
+	return b, nil
+}
+
+func (g *GroupAggregate) Close() error         { g.out = nil; return g.Child.Close() }
+func (g *GroupAggregate) Info() *Info          { return &g.info }
+func (g *GroupAggregate) Children() []Operator { return []Operator{g.Child} }
+
+// Project maps each input row through the projection. OnEmpty runs once if
+// the input produced no rows, so projection-list validation (unknown
+// columns) still fires on empty tables.
+type Project struct {
+	Child   Operator
+	Map     func(row []any) ([]any, error)
+	OnEmpty func() error
+
+	info Info
+	any_ bool
+	eof  bool
+}
+
+// NewProject builds the projection operator.
+func NewProject(child Operator, detail string) *Project {
+	return &Project{Child: child, info: Info{Name: "Project", Detail: detail}}
+}
+
+func (p *Project) Open(ctx context.Context) error { return p.Child.Open(ctx) }
+
+func (p *Project) Next(ctx context.Context) (*Batch, error) {
+	if p.eof {
+		return nil, nil
+	}
+	for {
+		b, err := p.Child.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			p.eof = true
+			if !p.any_ && p.OnEmpty != nil {
+				if err := p.OnEmpty(); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}
+		if b.Tally != 0 {
+			return nil, fmt.Errorf("plan: Project cannot evaluate a tally-only batch")
+		}
+		if len(b.Rows) == 0 {
+			continue
+		}
+		p.any_ = true
+		out := make([][]any, 0, len(b.Rows))
+		for _, row := range b.Rows {
+			mapped, err := p.Map(row)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, mapped)
+		}
+		p.info.RowsOut += int64(len(out))
+		return &Batch{Rows: out}, nil
+	}
+}
+
+func (p *Project) Close() error         { return p.Child.Close() }
+func (p *Project) Info() *Info          { return &p.info }
+func (p *Project) Children() []Operator { return []Operator{p.Child} }
+
+// OrderBy blocks: drains its child and sorts via the planner-bound Sort.
+// Sort always runs, even on zero rows, so ORDER BY validation fires on
+// empty inputs exactly like the legacy executor.
+type OrderBy struct {
+	Child Operator
+	Sort  func(rows [][]any) ([][]any, error)
+
+	info Info
+	out  [][]any
+	pos  int
+	done bool
+}
+
+// NewOrderBy builds the blocking sort operator.
+func NewOrderBy(child Operator, detail string) *OrderBy {
+	return &OrderBy{Child: child, info: Info{Name: "OrderBy", Detail: detail}}
+}
+
+func (o *OrderBy) Open(ctx context.Context) error { return o.Child.Open(ctx) }
+
+func (o *OrderBy) Next(ctx context.Context) (*Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	if o.out == nil {
+		var rows [][]any
+		for {
+			b, err := o.Child.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			rows = append(rows, b.Rows...)
+		}
+		sorted, err := o.Sort(rows)
+		if err != nil {
+			return nil, err
+		}
+		o.out = sorted
+		if o.out == nil {
+			o.out = [][]any{}
+		}
+	}
+	if o.pos >= len(o.out) {
+		o.done = true
+		return nil, nil
+	}
+	end := o.pos + BatchSize
+	if end > len(o.out) {
+		end = len(o.out)
+	}
+	b := &Batch{Rows: o.out[o.pos:end]}
+	o.pos = end
+	o.info.RowsOut += int64(len(b.Rows))
+	return b, nil
+}
+
+func (o *OrderBy) Close() error         { o.out = nil; return o.Child.Close() }
+func (o *OrderBy) Info() *Info          { return &o.info }
+func (o *OrderBy) Children() []Operator { return []Operator{o.Child} }
+
+// Limit truncates the stream after N rows.
+type Limit struct {
+	Child Operator
+	N     int64
+
+	info    Info
+	emitted int64
+}
+
+// NewLimit builds the truncation operator.
+func NewLimit(child Operator, n int64) *Limit {
+	return &Limit{Child: child, N: n, info: Info{Name: "Limit", Detail: fmt.Sprintf("%d", n)}}
+}
+
+func (l *Limit) Open(ctx context.Context) error { return l.Child.Open(ctx) }
+
+func (l *Limit) Next(ctx context.Context) (*Batch, error) {
+	if l.emitted >= l.N {
+		return nil, nil
+	}
+	for {
+		b, err := l.Child.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if len(b.Rows) == 0 && b.Tally == 0 {
+			continue
+		}
+		rows := b.Rows
+		if rem := l.N - l.emitted; int64(len(rows)) > rem {
+			rows = rows[:rem]
+		}
+		l.emitted += int64(len(rows))
+		l.info.RowsOut += int64(len(rows))
+		return &Batch{Rows: rows}, nil
+	}
+}
+
+func (l *Limit) Close() error         { return l.Child.Close() }
+func (l *Limit) Info() *Info          { return &l.info }
+func (l *Limit) Children() []Operator { return []Operator{l.Child} }

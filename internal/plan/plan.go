@@ -1,0 +1,166 @@
+// Package plan is doppioDB's physical-plan layer: the explicit operator
+// boundary between the SQL planner and the execution engines. A statement
+// compiles into a tree of vectorized operators with a uniform
+// Open/Next(batch)/Close contract; leaf scans carry the placement the cost
+// model chose for them (fpga, hybrid, software), so "where does this
+// predicate run" is a property of the plan, not a side effect buried in the
+// executor.
+//
+// The package is a leaf: it depends only on telemetry, so sql, core and the
+// CLIs can all share the operator and plan-tree types without import
+// cycles. Operators hold closures bound by the planner — the plan layer
+// owns control flow (batching, draining, tree shape) while the binding
+// layer owns the semantics (expression evaluation, BAT scans, UDF calls).
+package plan
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// BatchSize is the row count of one vectorized batch.
+const BatchSize = 1024
+
+// Batch is one unit of data flow between operators. Rows carries
+// materialized tuples; Tally carries counted-but-never-materialized rows
+// (the fast count(*) paths), so a count query stays a pure BAT operation
+// all the way up the tree.
+type Batch struct {
+	Rows  [][]any
+	Tally int64
+}
+
+// Info describes one operator for plan rendering: the EXPLAIN tree, the
+// \plan command, and the golden plan-shape tests all read it.
+type Info struct {
+	// Name is the operator type (Scan, FPGARegexScan, Filter, ...).
+	Name string
+	// Detail names the operator's target (table, predicate, key).
+	Detail string
+	// Placement is the execution site of a leaf scan: "fpga", "hybrid" or
+	// "software" ("" for operators that have no placement choice).
+	Placement string
+	// Cache is the plan-cache status stamped by the planner: "hit",
+	// "miss", or "" when the statement shape is not cacheable.
+	Cache string
+	// Shared marks a scan that was coalesced with concurrent identical
+	// scans into one HAL job group.
+	Shared bool
+	// RowsOut counts the rows (or tallied rows) this operator emitted.
+	RowsOut int64
+}
+
+// Operator is the uniform physical-operator contract. Next returns nil at
+// end of stream. Operators are single-consumer and not safe for concurrent
+// use — one query drives one tree.
+type Operator interface {
+	Open(ctx context.Context) error
+	Next(ctx context.Context) (*Batch, error)
+	Close() error
+	Info() *Info
+	Children() []Operator
+}
+
+// Run opens op, drains every batch, and closes it: the root-level drive
+// loop of a query. It returns the materialized rows and the accumulated
+// tally.
+func Run(ctx context.Context, op Operator) ([][]any, int64, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, 0, err
+	}
+	var rows [][]any
+	var tally int64
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			op.Close()
+			return nil, 0, err
+		}
+		if b == nil {
+			break
+		}
+		tally += b.Tally
+		rows = append(rows, b.Rows...)
+	}
+	return rows, tally, op.Close()
+}
+
+// Node is an immutable snapshot of one operator for rendering: the plan
+// tree survives after the operator state is gone.
+type Node struct {
+	Name      string  `json:"name"`
+	Detail    string  `json:"detail,omitempty"`
+	Placement string  `json:"placement,omitempty"`
+	Cache     string  `json:"cache,omitempty"`
+	Shared    bool    `json:"shared,omitempty"`
+	Rows      int64   `json:"rows"`
+	Children  []*Node `json:"children,omitempty"`
+}
+
+// Snapshot captures the operator tree as Nodes. A Scan over a derived
+// table exposes its subquery's plan as an extra child.
+func Snapshot(op Operator) *Node {
+	if op == nil {
+		return nil
+	}
+	in := op.Info()
+	n := &Node{
+		Name:      in.Name,
+		Detail:    in.Detail,
+		Placement: in.Placement,
+		Cache:     in.Cache,
+		Shared:    in.Shared,
+		Rows:      in.RowsOut,
+	}
+	for _, c := range op.Children() {
+		n.Children = append(n.Children, Snapshot(c))
+	}
+	if s, ok := op.(*Scan); ok && s.Sub != nil {
+		n.Children = append(n.Children, s.Sub)
+	}
+	return n
+}
+
+// Lines renders the tree, one operator per line, children indented. With
+// executed set, each line carries the observed row count; without it the
+// tree is the pure plan shape (EXPLAIN before execution, golden tests).
+func (n *Node) Lines(executed bool) []string {
+	if n == nil {
+		return nil
+	}
+	var out []string
+	n.walk("", executed, &out)
+	return out
+}
+
+func (n *Node) walk(indent string, executed bool, out *[]string) {
+	line := indent + n.Name
+	if n.Detail != "" {
+		line += ": " + n.Detail
+	}
+	var attrs []string
+	if n.Placement != "" {
+		attrs = append(attrs, "placement="+n.Placement)
+	}
+	if n.Cache != "" {
+		attrs = append(attrs, "cache="+n.Cache)
+	}
+	if n.Shared {
+		attrs = append(attrs, "shared")
+	}
+	if executed {
+		attrs = append(attrs, fmt.Sprintf("rows=%d", n.Rows))
+	}
+	if len(attrs) > 0 {
+		line += " [" + strings.Join(attrs, " ") + "]"
+	}
+	*out = append(*out, line)
+	for _, c := range n.Children {
+		c.walk(indent+"  ", executed, out)
+	}
+}
+
+// String renders the executed tree.
+func (n *Node) String() string { return strings.Join(n.Lines(true), "\n") }

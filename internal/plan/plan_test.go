@@ -1,0 +1,255 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/telemetry"
+)
+
+// rowsLeaf builds a Scan over fixed rows.
+func rowsLeaf(detail string, rows [][]any) *Scan {
+	return NewScan(detail, func(ctx context.Context) (ScanOut, error) {
+		return ScanOut{Rows: rows}, nil
+	})
+}
+
+func intRows(n int) [][]any {
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{int64(i)}
+	}
+	return rows
+}
+
+func TestLeafBatchesLargeInput(t *testing.T) {
+	n := 2*BatchSize + 7
+	op := rowsLeaf("t", intRows(n))
+	if err := op.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	batches, total := 0, 0
+	for {
+		b, err := op.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if len(b.Rows) > BatchSize {
+			t.Errorf("batch of %d rows exceeds BatchSize", len(b.Rows))
+		}
+		batches++
+		total += len(b.Rows)
+	}
+	if batches != 3 || total != n {
+		t.Errorf("batches=%d total=%d, want 3/%d", batches, total, n)
+	}
+	if op.Info().RowsOut != int64(n) {
+		t.Errorf("RowsOut = %d, want %d", op.Info().RowsOut, n)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTallyOnlyLeafAndCountStar(t *testing.T) {
+	leafOp := NewSoftRegexFilter("t: pred", func(ctx context.Context) (ScanOut, error) {
+		return ScanOut{Tally: 41, TallyOnly: true}, nil
+	})
+	agg := NewGroupAggregate(leafOp, "count(*)")
+	agg.CountStar = true
+	rows, tally, err := Run(context.Background(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally != 0 || len(rows) != 1 || rows[0][0].(int64) != 41 {
+		t.Errorf("count plan: rows=%v tally=%d", rows, tally)
+	}
+}
+
+func TestFilterRejectsTallyBatch(t *testing.T) {
+	leafOp := NewSoftRegexFilter("t", func(ctx context.Context) (ScanOut, error) {
+		return ScanOut{Tally: 5, TallyOnly: true}, nil
+	})
+	f := NewFilter(leafOp, "x", func(row []any) (bool, error) { return true, nil })
+	if _, _, err := Run(context.Background(), f); err == nil {
+		t.Error("Filter accepted a tally-only batch")
+	}
+}
+
+func TestFilterKeepsMatching(t *testing.T) {
+	f := NewFilter(rowsLeaf("t", intRows(10)), "even", func(row []any) (bool, error) {
+		return row[0].(int64)%2 == 0, nil
+	})
+	rows, _, err := Run(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || f.Info().RowsOut != 5 {
+		t.Errorf("filter kept %d rows (RowsOut=%d)", len(rows), f.Info().RowsOut)
+	}
+}
+
+func TestHashJoinInnerAndOuter(t *testing.T) {
+	left := [][]any{{int64(0)}, {int64(1)}, {int64(2)}, {int64(3)}}
+	right := [][]any{{int64(1), "one"}, {int64(3), "three"}, {int64(3), "tres"}}
+	for _, outer := range []bool{false, true} {
+		j := NewHashJoin(rowsLeaf("l", left), rowsLeaf("r", right), "l.k = r.rk")
+		j.LeftKey = func(row []any) (any, error) { return row[0], nil }
+		j.RightKey = func(row []any) (any, error) { return row[0], nil }
+		j.RightWidth = 2
+		j.LeftOuter = outer
+		var gotL, gotR int
+		j.Account = func(l, r int) { gotL, gotR = l, r }
+		rows, _, err := Run(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3 // 1 match for k=1, 2 for k=3
+		if outer {
+			want = 5 // plus null-padded rows for k=0 and k=2
+		}
+		if len(rows) != want {
+			t.Errorf("outer=%v: %d rows, want %d", outer, len(rows), want)
+		}
+		if outer {
+			for _, row := range rows {
+				if len(row) != 3 {
+					t.Fatalf("outer row width %d", len(row))
+				}
+				if row[0].(int64)%2 == 0 && (row[1] != nil || row[2] != nil) {
+					t.Errorf("unmatched row not null-padded: %v", row)
+				}
+			}
+		}
+		if gotL != 4 || gotR != 3 {
+			t.Errorf("Account(%d, %d), want (4, 3)", gotL, gotR)
+		}
+	}
+}
+
+func TestHashJoinRightPreAndPair(t *testing.T) {
+	left := [][]any{{int64(1)}, {int64(2)}}
+	right := [][]any{{int64(1), int64(10)}, {int64(1), int64(99)}, {int64(2), int64(20)}}
+	j := NewHashJoin(rowsLeaf("l", left), rowsLeaf("r", right), "k")
+	j.LeftKey = func(row []any) (any, error) { return row[0], nil }
+	j.RightKey = func(row []any) (any, error) { return row[0], nil }
+	j.RightWidth = 2
+	j.RightPre = func(row []any) (bool, error) { return row[1].(int64) < 50, nil }
+	j.Pair = func(pair []any) (bool, error) { return pair[2].(int64) != 20, nil }
+	rows, _, err := Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][2].(int64) != 10 {
+		t.Errorf("residual filtering: %v", rows)
+	}
+}
+
+func TestProjectOnEmptyValidation(t *testing.T) {
+	called := false
+	p := NewProject(rowsLeaf("t", nil), "a")
+	p.Map = func(row []any) ([]any, error) { return row, nil }
+	p.OnEmpty = func() error { called = true; return fmt.Errorf("bad column") }
+	if _, _, err := Run(context.Background(), p); err == nil || !called {
+		t.Errorf("OnEmpty not honored: called=%v err=%v", called, err)
+	}
+}
+
+func TestOrderBySortsAndValidatesEmpty(t *testing.T) {
+	o := NewOrderBy(rowsLeaf("t", intRows(5)), "v DESC")
+	o.Sort = func(rows [][]any) ([][]any, error) {
+		for i, j := 0, len(rows)-1; i < j; i, j = i+1, j-1 {
+			rows[i], rows[j] = rows[j], rows[i]
+		}
+		return rows, nil
+	}
+	rows, _, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].(int64) != 4 {
+		t.Errorf("sort not applied: %v", rows)
+	}
+	// Sort must run even with zero input rows (validation parity).
+	ran := false
+	o2 := NewOrderBy(rowsLeaf("t", nil), "v")
+	o2.Sort = func(rows [][]any) ([][]any, error) { ran = true; return rows, nil }
+	if _, _, err := Run(context.Background(), o2); err != nil || !ran {
+		t.Errorf("empty sort: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestLimitStopsEarly(t *testing.T) {
+	l := NewLimit(rowsLeaf("t", intRows(3*BatchSize)), 10)
+	rows, _, err := Run(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 || l.Info().RowsOut != 10 {
+		t.Errorf("limit emitted %d rows", len(rows))
+	}
+}
+
+func TestSnapshotAndLines(t *testing.T) {
+	f := NewFilter(rowsLeaf("t", intRows(4)), "v > 1", func(row []any) (bool, error) {
+		return row[0].(int64) > 1, nil
+	})
+	f.Child.Info().Cache = "miss"
+	if _, _, err := Run(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	n := Snapshot(f)
+	wantPlan := []string{
+		"Filter: v > 1",
+		"  Scan: t [placement=software cache=miss]",
+	}
+	if got := n.Lines(false); !reflect.DeepEqual(got, wantPlan) {
+		t.Errorf("plan lines:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(wantPlan, "\n"))
+	}
+	exec := n.Lines(true)
+	if !strings.Contains(exec[0], "rows=2") || !strings.Contains(exec[1], "rows=4") {
+		t.Errorf("executed lines missing row counts:\n%s", strings.Join(exec, "\n"))
+	}
+}
+
+func TestCacheLRUAndCounters(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	c := NewCache(2, tel, "plan.cache")
+	if _, ok := c.Get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Error("a not cached")
+	}
+	c.Put("c", 3) // evicts b (a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	snap := tel.Snapshot()
+	if snap.Counter("plan.cache_hits") != 1 ||
+		snap.Counter("plan.cache_misses") != 2 ||
+		snap.Counter("plan.cache_evictions") != 1 {
+		t.Errorf("counters: hits=%d misses=%d evictions=%d",
+			snap.Counter("plan.cache_hits"),
+			snap.Counter("plan.cache_misses"),
+			snap.Counter("plan.cache_evictions"))
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+	// Nil cache is inert.
+	var nilCache *Cache
+	nilCache.Put("x", 1)
+	if _, ok := nilCache.Get("x"); ok || nilCache.Len() != 0 {
+		t.Error("nil cache not inert")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"doppiodb/internal/explain"
 	"doppiodb/internal/perf"
+	"doppiodb/internal/plan"
 	"doppiodb/internal/telemetry"
 )
 
@@ -55,22 +56,41 @@ func (e *Engine) explainQuery(ctx context.Context, stmt *SelectStmt, root *telem
 		rec = out.Decision
 		res.UDF = out.UDF
 		res.Work = out.Work
+		res.Plan = out.Plan
 	} else {
-		r, err := e.planOnlyRecord(&inner)
+		// Compile without executing: the operator tree plus the
+		// plan-time placement decision. Statement shapes whose decision
+		// only exists at run time (the forced REGEXP_FPGA operator) fall
+		// back to pricing the predicate directly.
+		pl, err := e.plan(&inner, root)
 		if err != nil {
 			return nil, err
 		}
-		rec = r
+		rec = pl.st.decision
+		if rec == nil {
+			r, err := e.planOnlyRecord(&inner)
+			if err != nil {
+				return nil, err
+			}
+			rec = r
+		}
+		res.Plan = plan.Snapshot(pl.root)
 	}
 	res.Decision = rec
 
-	lines := rec.Lines()
-	if len(lines) == 0 {
-		lines = []string{"no decision record: the predicate is not hardware-eligible, or no cost-model advisor is attached"}
+	recLines := rec.Lines()
+	if len(recLines) == 0 {
+		recLines = []string{"no decision record: the predicate is not hardware-eligible, or no cost-model advisor is attached"}
 	}
 	if stmt.Analyze {
-		lines = append(lines, rec.AnalyzeLines()...)
+		recLines = append(recLines, rec.AnalyzeLines()...)
 	}
+	var lines []string
+	if res.Plan != nil {
+		lines = append(lines, res.Plan.Lines(stmt.Analyze)...)
+		lines = append(lines, "")
+	}
+	lines = append(lines, recLines...)
 	for _, l := range lines {
 		res.Rows = append(res.Rows, []any{l})
 	}

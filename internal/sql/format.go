@@ -1,0 +1,133 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// formatStmt renders a parsed statement into a canonical normalized form —
+// the plan cache's key material. Two statements that parse to the same AST
+// format identically regardless of the whitespace, casing, or redundant
+// parentheses of their source text.
+func formatStmt(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+		} else {
+			b.WriteString(formatExpr(it.Expr))
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS " + strings.ToLower(it.Alias))
+		}
+	}
+	b.WriteString(" FROM " + formatTableRef(s.From))
+	if s.Where != nil {
+		b.WriteString(" WHERE " + formatExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatExpr(g))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + formatExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatExpr(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
+	}
+	return b.String()
+}
+
+func formatTableRef(r TableRef) string {
+	switch t := r.(type) {
+	case *BaseTable:
+		out := strings.ToLower(t.Name)
+		if t.Alias != "" {
+			out += " AS " + strings.ToLower(t.Alias)
+		}
+		return out
+	case *SubqueryTable:
+		out := "(" + formatStmt(t.Query) + ") AS " + strings.ToLower(t.Alias)
+		if len(t.Columns) > 0 {
+			cols := make([]string, len(t.Columns))
+			for i, c := range t.Columns {
+				cols[i] = strings.ToLower(c)
+			}
+			out += " (" + strings.Join(cols, ", ") + ")"
+		}
+		return out
+	case *JoinTable:
+		kind := " JOIN "
+		if t.LeftOuter {
+			kind = " LEFT OUTER JOIN "
+		}
+		return formatTableRef(t.Left) + kind + formatTableRef(t.Right) +
+			" ON " + formatExpr(t.On)
+	}
+	return fmt.Sprintf("<%T>", r)
+}
+
+func formatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return strings.ToLower(refString(x))
+	case *StringLit:
+		return "'" + strings.ReplaceAll(x.Val, "'", "''") + "'"
+	case *IntLit:
+		return strconv.FormatInt(x.Val, 10)
+	case *NullLit:
+		return "NULL"
+	case *BinaryExpr:
+		return "(" + formatExpr(x.Left) + " " + x.Op + " " + formatExpr(x.Right) + ")"
+	case *NotExpr:
+		return "(NOT " + formatExpr(x.Sub) + ")"
+	case *LikeExpr:
+		op := "LIKE"
+		if x.Fold {
+			op = "ILIKE"
+		}
+		if x.Negated {
+			op = "NOT " + op
+		}
+		return "(" + formatExpr(x.Operand) + " " + op + " '" +
+			strings.ReplaceAll(x.Pattern, "'", "''") + "')"
+	case *IsNullExpr:
+		op := " IS NULL"
+		if x.Negated {
+			op = " IS NOT NULL"
+		}
+		return "(" + formatExpr(x.Operand) + op + ")"
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = formatExpr(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("<%T>", e)
+}

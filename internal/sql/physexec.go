@@ -1,0 +1,65 @@
+package sql
+
+import (
+	"context"
+
+	"doppiodb/internal/plan"
+	"doppiodb/internal/telemetry"
+)
+
+// execPlan drives a compiled physical plan: open/drain/close the operator
+// tree, then reassemble the Result contract — columns from the planner,
+// rows from the tree, work from the bound evaluators and scan closures, and
+// the pipeline spans synthesized from the operators' observed row counts so
+// traces keep the shape the legacy executor produced.
+func (e *Engine) execPlan(ctx context.Context, p *physical, root *telemetry.Span) (*Result, error) {
+	rows, _, err := plan.Run(ctx, p.root)
+	if err != nil {
+		return nil, err
+	}
+	st := p.st
+	res := &Result{
+		Cols:     p.cols,
+		Rows:     rows,
+		FastPath: p.fastPath,
+		UDF:      st.udf,
+		Decision: st.decision,
+		Work:     st.work,
+	}
+	for _, ev := range st.evs {
+		res.Work.Add(ev.work)
+	}
+	res.Plan = plan.Snapshot(p.root)
+	if p.fastPath == "" {
+		synthesizeSpans(p, root)
+	}
+	return res, nil
+}
+
+// synthesizeSpans rebuilds the general pipeline's where/aggregate/order-by
+// spans from operator row counts. The fast-count paths emit their bat-scan
+// spans inside the leaf closures instead.
+func synthesizeSpans(p *physical, root *telemetry.Span) {
+	var rowsIn int64
+	if p.srcOp != nil {
+		rowsIn = p.srcOp.Info().RowsOut
+	}
+	if p.filterOp != nil {
+		sp := root.StartChild("where")
+		sp.SetAttr("rows_in", rowsIn)
+		sp.End()
+		sp.SetAttr("rows_out", p.filterOp.Info().RowsOut)
+		rowsIn = p.filterOp.Info().RowsOut
+	}
+	if p.aggOp != nil {
+		sp := root.StartChild(p.aggName)
+		sp.End()
+		sp.SetAttr("rows_in", rowsIn)
+		sp.SetAttr("rows_out", p.aggOp.Info().RowsOut)
+	}
+	if p.orderOp != nil {
+		sp := root.StartChild("order-by")
+		sp.End()
+		sp.SetAttr("rows", p.orderOp.Info().RowsOut)
+	}
+}

@@ -1,0 +1,170 @@
+package sql
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"doppiodb/internal/core"
+	"doppiodb/internal/mdb"
+	"doppiodb/internal/workload"
+)
+
+// The golden plan-shape tests pin the operator tree each paper query
+// compiles to: operator names, per-operator placement, and plan-cache
+// status. Lines(false) renders the pure shape (no row counts), so these
+// stay stable across data sizes.
+
+func planLines(t *testing.T, res *Result) []string {
+	t.Helper()
+	if res.Plan == nil {
+		t.Fatal("result has no plan snapshot")
+	}
+	return res.Plan.Lines(false)
+}
+
+func assertPlan(t *testing.T, res *Result, want []string) {
+	t.Helper()
+	got := planLines(t, res)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("plan shape:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestPlanGoldenLikeCount(t *testing.T) {
+	e, _ := addressEngine(t, 2_000, workload.HitQ1, 0.2)
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE address_string LIKE '%Strasse%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlan(t, res, []string{
+		"GroupAggregate: count(*)",
+		"  SoftRegexFilter: address_table: (address_string LIKE '%Strasse%') [placement=software cache=miss]",
+	})
+}
+
+func TestPlanGoldenRegexpSoftware(t *testing.T) {
+	// Without an advisor the regex stays on the CPU scan path.
+	e, _ := addressEngine(t, 2_000, workload.HitQ2, 0.2)
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, '(Strasse|Str\.).*(8[0-9]{4})')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlan(t, res, []string{
+		"GroupAggregate: count(*)",
+		`  SoftRegexFilter: address_table: REGEXP_LIKE(address_string, '(Strasse|Str\.).*(8[0-9]{4})') [placement=software cache=miss]`,
+	})
+}
+
+func TestPlanGoldenRegexpOffloaded(t *testing.T) {
+	// §9 cost-based placement: with the system advising, Q2 offloads and
+	// the plan records the placement on the scan leaf.
+	s, err := core.NewSystem(core.Options{RegionBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := workload.NewGenerator(55, 64).Table(20_000, workload.HitQ2, 0.2)
+	if _, err := s.DB.LoadAddressTable("address_table", rows); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s.DB)
+	e.Advisor = s
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, '(Strasse|Str\.).*(8[0-9]{4})')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastPath != "regexp->udf" {
+		t.Fatalf("fast path = %q", res.FastPath)
+	}
+	assertPlan(t, res, []string{
+		"GroupAggregate: count(*)",
+		`  FPGARegexScan: address_table: REGEXP_LIKE(address_string, '(Strasse|Str\.).*(8[0-9]{4})') [placement=fpga cache=miss]`,
+	})
+}
+
+func TestPlanGoldenRegexpHybridSplit(t *testing.T) {
+	// On the constrained device QH exceeds engine capacity and splits at
+	// the top-level `.*`: the plan leaf carries the hybrid placement.
+	e, _ := hybridEngine(t)
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE REGEXP_LIKE(address_string, '` + workload.QH + `')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision == nil || res.Decision.Chosen != "hybrid" {
+		t.Fatalf("decision = %+v, want hybrid", res.Decision)
+	}
+	lines := planLines(t, res)
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  FPGARegexScan:") ||
+		!strings.Contains(lines[1], "placement=hybrid") {
+		t.Errorf("hybrid plan:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestPlanGoldenContains(t *testing.T) {
+	e, _ := addressEngine(t, 2_000, workload.HitTable1, 0.2)
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE CONTAINS('Alan & Turing & Cheshire')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlan(t, res, []string{
+		"GroupAggregate: count(*)",
+		"  IndexLookup: address_table: CONTAINS('Alan & Turing & Cheshire') [placement=software cache=miss]",
+	})
+}
+
+func TestPlanGoldenRegexpFPGAForced(t *testing.T) {
+	s, err := core.NewSystem(core.Options{RegionBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := workload.NewGenerator(77, 64).Table(5_000, workload.HitQ3, 0.2)
+	if _, err := s.DB.LoadAddressTable("address_table", rows); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s.DB)
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE REGEXP_FPGA('[0-9]+(USD|EUR|GBP)', address_string) <> 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlan(t, res, []string{
+		"GroupAggregate: count(*)",
+		`  FPGARegexScan: address_table: (REGEXP_FPGA('[0-9]+(USD|EUR|GBP)', address_string) <> 0) [placement=fpga cache=miss]`,
+	})
+}
+
+func TestPlanGoldenTPCHQ13(t *testing.T) {
+	tp := workload.GenerateTPCH(13, 0.01, 0.01)
+	e := NewEngine(mdb.New(nil))
+	loadTPCH(t, e, tp)
+	res, err := e.Query(tpchQ13SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlan(t, res, []string{
+		"OrderBy: custdist DESC, c_count DESC",
+		"  GroupAggregate: group by c_count",
+		"    Scan: c_orders (subquery) [placement=software cache=miss]",
+		"      GroupAggregate: group by c_custkey",
+		"        HashJoin: left outer customer.c_custkey = orders.o_custkey",
+		"          Scan: customer [placement=software cache=miss]",
+		"          Scan: orders [placement=software cache=miss]",
+	})
+}
+
+func TestPlanSnapshotRowCounts(t *testing.T) {
+	// The executed rendering carries observed per-operator row counts.
+	e, hits := addressEngine(t, 2_000, workload.HitQ1, 0.2)
+	res, err := e.Query(`SELECT count(*) FROM address_table WHERE address_string LIKE '%Strasse%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := res.Plan.Lines(true)
+	if !strings.Contains(lines[0], "rows=1") {
+		t.Errorf("aggregate row count missing: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "rows="+strconv.Itoa(hits)) {
+		t.Errorf("scan tally missing (want %d): %s", hits, lines[1])
+	}
+}
