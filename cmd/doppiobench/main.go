@@ -11,6 +11,7 @@
 //	            [-baseline FILE.json] [-baseline-against FILE.json]
 //	            [-baseline-tol PCT] [-baseline-report FILE.json]
 //	            [-querylog-out FILE.jsonl]
+//	            [-topdown] [-topdown-out FILE.json]
 //	            [-mon ADDR] [-faults SPEC]
 //
 // -sample sets how many rows the functional engines execute per
@@ -71,6 +72,7 @@ import (
 	"doppiodb/internal/hal"
 	"doppiodb/internal/obs"
 	"doppiodb/internal/telemetry"
+	"doppiodb/internal/topdown"
 )
 
 // namedResult pairs an experiment result with its type-derived name for the
@@ -100,6 +102,8 @@ func main() {
 		baseTol  = flag.Float64("baseline-tol", 10, "regression tolerance for -baseline, in percent")
 		baseRep  = flag.String("baseline-report", "", "write the -baseline delta report to this JSON file")
 		qlogOut  = flag.String("querylog-out", "", "write the retained wide-event query log as JSON Lines to this file")
+		tdF      = flag.Bool("topdown", false, "print the cumulative topdown utilization summary after the run")
+		tdOut    = flag.String("topdown-out", "", "write the topdown utilization summary to this JSON file")
 		planF    = flag.Bool("plan", false, "print the executed physical-operator plan of every paper query, then exit")
 	)
 	flag.Parse()
@@ -181,6 +185,7 @@ func main() {
 		{"soak", func() error { r, err := experiments.Soak(cfg); render(r, err, out); return err }},
 		{"platform", func() error { r, err := experiments.Platform(cfg); render(r, err, out); return err }},
 		{"nextgen", func() error { r, err := experiments.NextGen(cfg); render(r, err, out); return err }},
+		{"topdown", func() error { r, err := experiments.Topdown(cfg); render(r, err, out); return err }},
 		{"ablations", func() error {
 			if r, err := experiments.AblationGapHold(cfg); err != nil {
 				return err
@@ -242,8 +247,10 @@ func main() {
 		Calibration explain.Report      `json:"calibration"`
 		SLO         obs.SLOReport       `json:"slo"`
 		QueryLog    obs.LogStats        `json:"querylog"`
+		Topdown     topdown.Summary     `json:"topdown"`
 	}{results, telemetry.Build(), snap, health, calib,
-		obs.Default().SLO.Report(), obs.Default().Log.Stats()}
+		obs.Default().SLO.Report(), obs.Default().Log.Stats(),
+		topdown.SummaryFromMetrics(snap)}
 	if doc.Experiments == nil {
 		doc.Experiments = []namedResult{}
 	}
@@ -271,6 +278,18 @@ func main() {
 	if *explainF {
 		fmt.Fprintln(os.Stderr, "doppiobench: cost-model calibration report:")
 		calib.WriteText(os.Stderr)
+	}
+	if *tdF {
+		fmt.Fprintln(os.Stderr, "doppiobench: topdown utilization summary:")
+		doc.Topdown.WriteText(os.Stderr)
+	}
+	if *tdOut != "" {
+		if err := writeJSONFile(*tdOut, doc.Topdown); err != nil {
+			fmt.Fprintf(os.Stderr, "doppiobench: write topdown summary: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "doppiobench: topdown summary written to %s (%d rounds)\n",
+			*tdOut, doc.Topdown.Rounds)
 	}
 	if *explOut != "" {
 		doc := struct {

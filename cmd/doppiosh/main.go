@@ -28,13 +28,16 @@
 // alarms, `\slo` prints the windowed SLO report (per-class latency
 // quantiles, availability SLIs, burn rates and the alert state),
 // `\querylog [N]` prints the N most recent wide query events from the
-// tail-biased log, `\dump [FILE]` writes the flight-recorder window (to stdout, or
+// tail-biased log, `\topdown` prints the fabric's cumulative topdown
+// utilization table (per-engine cycle buckets, the QPI link ledger, the
+// conservation check) plus the last query's bottleneck verdict,
+// `\dump [FILE]` writes the flight-recorder window (to stdout, or
 // to FILE — a .json suffix selects the Chrome-trace format for
 // ui.perfetto.dev), `\q` quits. -faults injects hardware faults (same spec
 // grammar as doppiobench); degraded queries are marked on their status line
 // and trigger an automatic flight-recorder dump to stderr. -mon ADDR serves
 // the live monitoring endpoint (/metrics, /health, /trace, /calibration,
-// /debug/pprof); SIGQUIT dumps the flight-recorder window to stderr at any
+// /utilization, /debug/pprof); SIGQUIT dumps the flight-recorder window to stderr at any
 // time.
 package main
 
@@ -232,6 +235,12 @@ func meta(sys *core.System, cmd string) bool {
 		return true
 	case `\slo`:
 		sys.Obs.SLO.Report().WriteText(os.Stdout)
+		return true
+	case `\topdown`:
+		sys.HAL.Topdown().WriteText(os.Stdout)
+		if lastDecision != nil && lastDecision.Topdown != nil {
+			fmt.Println("last query " + lastDecision.Topdown.Line())
+		}
 		return true
 	}
 	return false

@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"doppiodb/internal/core"
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/token"
+	"doppiodb/internal/topdown"
 	"doppiodb/internal/workload"
 )
 
@@ -39,6 +41,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the flight-recorder timeline (plus the query span tree) as Chrome-trace JSON to this file")
 		explainF = flag.Bool("explain", false, "print the placement decision record with predicted-vs-actual cost per term")
 		explOut  = flag.String("explain-out", "", "write the decision record as JSON to this file")
+		tdF      = flag.Bool("topdown", false, "print the query's bottleneck verdict and the fabric utilization table")
+		tdOut    = flag.String("topdown-out", "", "write the attribution and fabric report as JSON to this file")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -120,6 +124,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "explain:")
 			res.Decision.WriteText(os.Stderr)
 		}
+	}
+	if *tdF {
+		if res.Topdown != nil {
+			fmt.Fprintln(os.Stderr, res.Topdown.Line())
+		}
+		s.HAL.Topdown().WriteText(os.Stderr)
+	}
+	if *tdOut != "" {
+		doc := struct {
+			Attribution *topdown.Attribution `json:"attribution,omitempty"`
+			Fabric      topdown.FabricReport `json:"fabric"`
+			Conserved   bool                 `json:"conserved"`
+		}{Attribution: res.Topdown, Fabric: s.HAL.Topdown()}
+		doc.Conserved = doc.Fabric.Conserved()
+		f, err := os.Create(*tdOut)
+		fatal(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(doc)
+		if cErr := f.Close(); err == nil {
+			err = cErr
+		}
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "topdown report written to %s\n", *tdOut)
 	}
 	if *explOut != "" && res.Decision != nil {
 		f, err := os.Create(*explOut)

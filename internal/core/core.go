@@ -38,6 +38,7 @@ import (
 	"doppiodb/internal/strmatch"
 	"doppiodb/internal/telemetry"
 	"doppiodb/internal/token"
+	"doppiodb/internal/topdown"
 )
 
 // UDFName is the SQL-visible name of the hardware operator
@@ -246,6 +247,10 @@ type Result struct {
 	// was fanned out from another query's job group, and this result
 	// carries no hardware traffic of its own.
 	Shared bool
+	// Topdown is the bottleneck attribution: the query's phase breakdown
+	// and engine-cycle buckets folded into a verdict (memory-bound,
+	// compute-bound, config-bound, queue-bound, software-bound).
+	Topdown *topdown.Attribution
 }
 
 // Total returns the simulated response time.
@@ -269,6 +274,10 @@ type HWStats struct {
 	Jobs int
 	// LinkBusy is the link service time of this query's grants.
 	LinkBusy sim.Time
+	// Buckets is the engine-cycle classification summed over this query's
+	// job completions: busy, stall-input, stall-switch, stall-output and
+	// config (parametrization). Jobs own no idle, so Wall is their sum.
+	Buckets topdown.Buckets
 }
 
 // hybridRowDispatch is the per-tuple cost of handing a pre-selected row to
@@ -432,6 +441,10 @@ func (s *System) Exec(ctx context.Context, col *bat.Strings, pattern string, opt
 	s.Tel.Counter("core.matches").Add(int64(res.MatchCount))
 	s.Tel.Counter("core.actual_ns").Add(int64(res.Total() / sim.Nanosecond))
 	finishRecord(rec, res)
+	res.Topdown = s.attributeQuery(placement, res)
+	if rec != nil {
+		rec.Topdown = res.Topdown
+	}
 	res.Decision = rec
 	s.observeQuery(ctx, col, pattern, placement, res, nil, retries, backoff)
 	return res, nil
@@ -532,6 +545,7 @@ func (s *System) execDirect(ctx context.Context, col *bat.Strings, cp *compiled,
 		hw.Grants += c.Grants
 		hw.Switches += c.Switches
 		hw.LinkBusy += c.LinkBusy
+		hw.Buckets.Add(c.Buckets)
 		matches += j.Stats.Matches
 		cycles += int64(j.Stats.PUCycles)
 	}
@@ -564,6 +578,11 @@ func (s *System) execDirect(ctx context.Context, col *bat.Strings, cp *compiled,
 		if hw.Time > 0 {
 			s.Tel.Gauge("pu.utilization_pct").Set(
 				int64(sim.PUClock.Cycles(cycles)) * 100 / int64(hw.Time*sim.Time(pus)))
+			// Basis-point twin for the topdown surfaces: PU occupancy is
+			// busy PU-time over the hardware window across every deployed
+			// PU, and sub-percent occupancies must not truncate to zero.
+			s.Tel.Gauge("topdown.pu_occupancy_bp").Set(
+				int64(sim.PUClock.Cycles(cycles)) * 10000 / int64(hw.Time*sim.Time(pus)))
 		}
 	}
 	coll := hwSpan.NewChild("collect")

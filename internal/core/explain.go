@@ -8,6 +8,7 @@ import (
 	"doppiodb/internal/obs"
 	"doppiodb/internal/perf"
 	"doppiodb/internal/sim"
+	"doppiodb/internal/topdown"
 )
 
 // This file bridges the §9 cost model to the explain layer: ExplainCost
@@ -172,6 +173,12 @@ func (s *System) FinishSoftware(rec *explain.Record, w perf.Work) {
 	}
 	t := s.Model.MonetDBScan(w, true)
 	rec.Finish(explain.Cost{SoftwareNS: ns(t), TotalNS: ns(t)})
+	rec.Topdown = topdown.Analyze(topdown.QueryCycles{
+		Placement: "software",
+		Software:  t,
+		Total:     t,
+	})
+	s.Tel.Counter("topdown.verdict." + string(rec.Topdown.Verdict)).Inc()
 	s.Obs.ObserveQuery(obs.Event{
 		SimNS:      ns(s.HAL.SimEpoch()),
 		Pattern:    rec.Pattern,
@@ -180,5 +187,6 @@ func (s *System) FinishSoftware(rec *explain.Record, w perf.Work) {
 		Rows:       rec.Rows,
 		TotalNS:    ns(t),
 		PlanCached: rec.PlanCacheHit,
+		Topdown:    rec.Topdown,
 	})
 }

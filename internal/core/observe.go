@@ -82,5 +82,6 @@ func (s *System) observeQuery(ctx context.Context, col *bat.Strings, pattern, pl
 		}
 		ev.Phases = phases
 	}
+	ev.Topdown = res.Topdown
 	s.Obs.ObserveQuery(ev)
 }

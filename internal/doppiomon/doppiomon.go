@@ -17,6 +17,10 @@
 //	/slo          the windowed SLO engine's report: per-class latency
 //	              quantiles, availability SLIs, burn rates and the alert
 //	              state (?format=text for the \slo rendering)
+//	/utilization  the topdown fabric accounting: per-engine cycle buckets
+//	              (busy, stalls, config, idle), the QPI link ledger, PU
+//	              occupancy, the conservation check and the verdict tally
+//	              (?format=text for the \topdown table)
 //	/debug/pprof  the standard Go profiling handlers
 //
 // The server holds references, not copies: every request renders the state
@@ -37,6 +41,7 @@ import (
 	"doppiodb/internal/hal"
 	"doppiodb/internal/obs"
 	"doppiodb/internal/telemetry"
+	"doppiodb/internal/topdown"
 )
 
 // HealthSource is the live view /health renders. *hal.HAL satisfies it; nil
@@ -47,6 +52,12 @@ type HealthSource interface {
 	// State is the runtime's overload/recovery state machine verdict:
 	// "ok", "overloaded", "degraded", or "resetting".
 	State() string
+}
+
+// UtilizationSource is the live view /utilization renders: the cumulative
+// topdown fabric report. *hal.HAL satisfies it.
+type UtilizationSource interface {
+	Topdown() topdown.FabricReport
 }
 
 // Config wires the server to the process's observability state. Nil fields
@@ -63,6 +74,10 @@ type Config struct {
 	// Obs backs /querylog and /slo, and its burn-rate alert flips /health
 	// (nil: the process default observer).
 	Obs *obs.Observer
+	// Utilization backs /utilization's fabric section. Left nil, Start
+	// derives it from Health when that source also serves topdown reports
+	// (*hal.HAL does); nil at serve time renders an empty fabric.
+	Utilization UtilizationSource
 }
 
 // Server is a running monitoring endpoint.
@@ -87,6 +102,11 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.Default()
 	}
+	if cfg.Utilization == nil {
+		if u, ok := cfg.Health.(UtilizationSource); ok {
+			cfg.Utilization = u
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("doppiomon: listen %s: %w", addr, err)
@@ -99,6 +119,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/calibration", s.handleCalibration)
 	mux.HandleFunc("/querylog", s.handleQueryLog)
 	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/utilization", s.handleUtilization)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -284,6 +305,43 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(rep) //nolint:errcheck // best-effort response write
+}
+
+// handleUtilization serves the topdown fabric accounting: the per-engine
+// and link cycle ledgers as JSON — with the conservation verdict and the
+// per-query bottleneck tally from telemetry — or the \topdown table with
+// ?format=text. A system that never booted hardware renders an empty,
+// trivially conserved fabric.
+func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	var rep topdown.FabricReport
+	if s.cfg.Utilization != nil {
+		rep = s.cfg.Utilization.Topdown()
+	}
+	snap := s.cfg.Registry.Snapshot()
+	if bp := snap.Gauge("topdown.pu_occupancy_bp"); bp > 0 {
+		rep.PUOccupancyPct = float64(bp) / 100
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	doc := struct {
+		topdown.FabricReport
+		Conserved bool             `json:"conserved"`
+		Verdicts  map[string]int64 `json:"verdicts,omitempty"`
+	}{
+		FabricReport: rep,
+		Conserved:    rep.Conserved(),
+		Verdicts:     topdown.SummaryFromMetrics(snap).Verdicts,
+	}
+	if doc.Engines == nil {
+		doc.Engines = []topdown.EngineReport{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // best-effort response write
 }
 
 // handleTrace serves the flight-recorder window: structured JSON events by

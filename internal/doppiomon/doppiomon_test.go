@@ -98,10 +98,13 @@ func parsePrometheus(t *testing.T, text []byte) map[string]int64 {
 		if len(fields) != 2 {
 			t.Fatalf("malformed sample line %q", line)
 		}
-		v, err := strconv.ParseInt(fields[1], 10, 64)
+		// Counters and raw gauges are integers; derived *_pct gauges
+		// render basis points with two decimals (still valid Prometheus).
+		f, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
-			t.Fatalf("non-integer value in %q: %v", line, err)
+			t.Fatalf("non-numeric value in %q: %v", line, err)
 		}
+		v := int64(f)
 		name := fields[0]
 		if i := strings.IndexByte(name, '{'); i >= 0 {
 			if !strings.HasSuffix(name, "}") {
@@ -412,6 +415,8 @@ func TestEndpointsSetContentType(t *testing.T) {
 		{"/querylog?format=text", "text/plain; charset=utf-8"},
 		{"/slo", "application/json"},
 		{"/slo?format=text", "text/plain; charset=utf-8"},
+		{"/utilization", "application/json"},
+		{"/utilization?format=text", "text/plain; charset=utf-8"},
 	}
 	for _, tc := range cases {
 		resp, err := http.Get("http://" + srv.Addr() + tc.path)
@@ -424,5 +429,77 @@ func TestEndpointsSetContentType(t *testing.T) {
 		if got != tc.want {
 			t.Errorf("%s Content-Type = %q, want %q", tc.path, got, tc.want)
 		}
+	}
+}
+
+func TestUtilizationEndpoint(t *testing.T) {
+	srv, _, _ := bootMon(t)
+	code, body := get(t, "http://"+srv.Addr()+"/utilization")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var doc struct {
+		Engines []struct {
+			Engine int   `json:"engine"`
+			BusyPS int64 `json:"busy_ps"`
+			WallPS int64 `json:"wall_ps"`
+		} `json:"engines"`
+		Link struct {
+			BusyPS int64 `json:"busy_ps"`
+			WallPS int64 `json:"wall_ps"`
+		} `json:"link"`
+		Rounds    int64            `json:"rounds"`
+		Conserved bool             `json:"conserved"`
+		Verdicts  map[string]int64 `json:"verdicts"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Engines) == 0 || doc.Rounds == 0 {
+		t.Fatalf("no fabric accounting rendered: %s", body)
+	}
+	if !doc.Conserved {
+		t.Errorf("conservation violated: %s", body)
+	}
+	if doc.Link.WallPS == 0 || doc.Link.BusyPS == 0 {
+		t.Errorf("link ledger empty: %+v", doc.Link)
+	}
+	if len(doc.Verdicts) == 0 {
+		t.Error("no verdicts tallied after a query")
+	}
+
+	code, text := get(t, "http://"+srv.Addr()+"/utilization?format=text")
+	if code != http.StatusOK {
+		t.Fatalf("text status = %d", code)
+	}
+	if !strings.Contains(string(text), "cycle conservation: exact") {
+		t.Errorf("text form missing conservation line:\n%s", text)
+	}
+	if !strings.Contains(string(text), "qpi") {
+		t.Errorf("text form missing link line:\n%s", text)
+	}
+}
+
+// Without a utilization source the endpoint stays clean: empty engines,
+// trivially conserved, valid JSON.
+func TestUtilizationEndpointNilSource(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	code, body := get(t, "http://"+srv.Addr()+"/utilization")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var doc struct {
+		Engines   []any `json:"engines"`
+		Conserved bool  `json:"conserved"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Engines) != 0 || !doc.Conserved {
+		t.Errorf("empty fabric rendered wrong: %s", body)
 	}
 }

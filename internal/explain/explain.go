@@ -13,9 +13,9 @@
 // auditor (calib.go) relies on to attribute drift to the model, not to the
 // host.
 //
-// The package is a leaf: it depends only on sim, telemetry and flightrec,
-// so core, sql, mdb, the monitoring endpoint and the CLIs can all share
-// the Record type without import cycles.
+// The package is a leaf: it depends only on sim, telemetry, flightrec and
+// topdown, so core, sql, mdb, the monitoring endpoint and the CLIs can all
+// share the Record type without import cycles.
 package explain
 
 import (
@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"doppiodb/internal/sim"
+	"doppiodb/internal/topdown"
 )
 
 // Cost-term names. Every predicted and actual cost is itemized under these
@@ -155,6 +156,10 @@ type Record struct {
 	// another query's HAL job group — its actuals describe shared work, so
 	// the calibration auditor skips it.
 	SharedScan bool `json:"shared_scan,omitempty"`
+	// Topdown is the bottleneck attribution: the executed query's phase
+	// breakdown and engine-cycle buckets folded into a verdict. Nil before
+	// execution.
+	Topdown *topdown.Attribution `json:"topdown,omitempty"`
 
 	auditor *Auditor
 }
@@ -382,6 +387,9 @@ func (r *Record) AnalyzeLines() []string {
 	}
 	if r.SharedScan {
 		out = append(out, "shared scan: follower — results fanned out from a coalesced job group")
+	}
+	if r.Topdown != nil {
+		out = append(out, r.Topdown.Line())
 	}
 	return out
 }

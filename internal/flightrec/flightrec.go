@@ -95,6 +95,12 @@ const (
 	// state: the error-budget burn exceeded the threshold over both the
 	// fast and slow windows (Note carries the rates), or cleared (Arg 0).
 	EvSLOBurn
+	// EvUtilSample is the topdown layer's per-round utilization sample:
+	// one per engine (Vals = busy/stall-in/stall-sw/stall-out/config/idle
+	// basis points of the round wall) and one for the QPI link (Engine -1,
+	// Vals = busy/arbitration/idle basis points). Dur spans the round; the
+	// Perfetto exporter turns these into counter tracks.
+	EvUtilSample
 
 	numTypes
 )
@@ -104,7 +110,7 @@ var typeNames = [numTypes]string{
 	"phase-switch", "watchdog", "fault", "breaker-trip", "readmit",
 	"degrade", "dump", "job-queue", "job-admit", "job-cancel",
 	"calib-drift", "shed", "deadline", "retry", "fabric-reset",
-	"slo-burn",
+	"slo-burn", "util-sample",
 }
 
 // String names the type the way the dump format and exporters do.
@@ -188,6 +194,10 @@ type Event struct {
 	// Arg is a type-specific quantity: bytes for job events, cache lines
 	// for grant bursts.
 	Arg int64 `json:"arg,omitempty"`
+	// Vals is a type-specific vector: the topdown bucket shares in basis
+	// points for util-sample events. Written once at record time, never
+	// mutated afterwards.
+	Vals []int64 `json:"vals,omitempty"`
 	// Note is a short label: the fault class, the degradation cause.
 	Note string `json:"note,omitempty"`
 }

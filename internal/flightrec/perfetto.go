@@ -28,6 +28,7 @@ const (
 	PidArbiter = 3 // QPI link grant bursts + offset↔heap switches
 	PidControl = 4 // software-side control plane: submits, faults, breaker
 	PidQuery   = 5 // telemetry span trees (query lifecycle)
+	PidTopdown = 6 // sampled topdown utilization counter tracks (basis points)
 )
 
 // traceEvent is one entry of the Chrome trace-event format.
@@ -114,6 +115,43 @@ func WriteChromeTrace(w io.Writer, events []Event, spans ...*telemetry.Span) err
 				Name: "offset/heap switch", Ph: "i",
 				TS: us(e.Sim), PID: PidArbiter, TID: tid, S: "t",
 			})
+		case EvUtilSample:
+			// Topdown utilization timeline: one counter track per engine
+			// (and one for the link), stepped per simulation round. A
+			// trailing zero sample closes each round so inter-round gaps
+			// don't render as sustained load.
+			var name string
+			var vals map[string]any
+			tid := 1 + e.Engine
+			if e.Engine >= 0 && len(e.Vals) >= 6 {
+				name = fmt.Sprintf("topdown e%d (bp)", e.Engine)
+				vals = map[string]any{
+					"busy": e.Vals[0], "stall_input": e.Vals[1],
+					"stall_switch": e.Vals[2], "stall_output": e.Vals[3],
+					"config": e.Vals[4], "idle": e.Vals[5],
+				}
+			} else if e.Engine < 0 && len(e.Vals) >= 3 {
+				name = "topdown qpi (bp)"
+				tid = 0
+				vals = map[string]any{
+					"busy": e.Vals[0], "arbitration": e.Vals[1], "idle": e.Vals[2],
+				}
+			} else {
+				continue
+			}
+			threads[track{PidTopdown, tid}] = name
+			out = append(out, traceEvent{
+				Name: name, Ph: "C", TS: us(e.Sim),
+				PID: PidTopdown, TID: tid, Args: vals,
+			})
+			zero := make(map[string]any, len(vals))
+			for k := range vals {
+				zero[k] = 0
+			}
+			out = append(out, traceEvent{
+				Name: name, Ph: "C", TS: us(e.Sim + e.Dur),
+				PID: PidTopdown, TID: tid, Args: zero,
+			})
 		default:
 			// Control-plane instants: submits, watchdog, faults, breaker
 			// trips/readmissions, degradations, dump marks.
@@ -153,6 +191,7 @@ func WriteChromeTrace(w io.Writer, events []Event, spans ...*telemetry.Span) err
 		{Name: "process_name", Ph: "M", PID: PidArbiter, Args: map[string]any{"name": "memory arbiter (QPI)"}},
 		{Name: "process_name", Ph: "M", PID: PidControl, Args: map[string]any{"name": "HAL control plane"}},
 		{Name: "process_name", Ph: "M", PID: PidQuery, Args: map[string]any{"name": "query lifecycle (spans)"}},
+		{Name: "process_name", Ph: "M", PID: PidTopdown, Args: map[string]any{"name": "topdown utilization (basis points)"}},
 	}
 	tracks := make([]track, 0, len(threads))
 	for t := range threads {

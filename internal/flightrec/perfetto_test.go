@@ -79,8 +79,8 @@ func TestChromeTraceValidJSON(t *testing.T) {
 			t.Fatalf("no events on pid %d; got pids %v", pid, pids)
 		}
 	}
-	if processNames != 5 {
-		t.Fatalf("process_name metadata count = %d, want 5", processNames)
+	if processNames != 6 {
+		t.Fatalf("process_name metadata count = %d, want 6", processNames)
 	}
 
 	// Span tree landed on the query track.

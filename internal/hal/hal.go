@@ -42,6 +42,7 @@ import (
 	"doppiodb/internal/shmem"
 	"doppiodb/internal/sim"
 	"doppiodb/internal/telemetry"
+	"doppiodb/internal/topdown"
 )
 
 // Control-block layout constants.
@@ -183,14 +184,20 @@ type HAL struct {
 	closed           bool
 	loopOn           bool    // event-loop goroutine started
 	queuedVol        []int64 // per-engine running byte totals (the Distributor's index)
-	health           []engineHealth
-	dsmAddr          shmem.Addr
-	poolAddr         shmem.Addr
-	poolNext         int
-	blockFree        []blockRef
-	queueAddr        shmem.Addr
-	queueLen         int // live reservations against queueSlots
-	slotNext         int // next descriptor slot in the shared-memory queue
+	// tdEngines/tdLink/tdRounds accumulate the topdown cycle ledgers
+	// across arbitration rounds (per-engine buckets conserve exactly:
+	// each round's ledger does, and Add is field-wise).
+	tdEngines []topdown.Buckets
+	tdLink    topdown.LinkBuckets
+	tdRounds  int64
+	health    []engineHealth
+	dsmAddr   shmem.Addr
+	poolAddr  shmem.Addr
+	poolNext  int
+	blockFree []blockRef
+	queueAddr shmem.Addr
+	queueLen  int // live reservations against queueSlots
+	slotNext  int // next descriptor slot in the shared-memory queue
 }
 
 // New boots the HAL: it performs the AAL handshake (allocating the DSM page
@@ -216,6 +223,7 @@ func New(region *shmem.Region, dev *fpga.Device) (*HAL, error) {
 		h.engines = append(h.engines, engine.New(dev, i))
 	}
 	h.queuedVol = make([]int64, len(h.engines))
+	h.tdEngines = make([]topdown.Buckets, len(h.engines))
 	h.health = make([]engineHealth, len(h.engines))
 	h.tel.Gauge("hal.engines.total").Set(int64(len(h.engines)))
 	h.tel.Gauge("hal.engines.healthy").Set(int64(len(h.engines)))
@@ -287,6 +295,23 @@ func (h *HAL) Device() *fpga.Device { return h.dev }
 
 // Engines returns the engine count.
 func (h *HAL) Engines() int { return len(h.engines) }
+
+// Topdown returns the fabric's cumulative cycle-conservation ledgers: one
+// per engine plus the QPI link, accumulated over every arbitration round
+// this HAL has run. Each engine's buckets sum exactly to its wall.
+func (h *HAL) Topdown() topdown.FabricReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep := topdown.FabricReport{
+		Engines: make([]topdown.EngineReport, len(h.tdEngines)),
+		Link:    h.tdLink,
+		Rounds:  h.tdRounds,
+	}
+	for e, b := range h.tdEngines {
+		rep.Engines[e] = topdown.EngineReport{Engine: e, Buckets: b}
+	}
+	return rep
+}
 
 // AFUPresent re-checks the handshake result.
 func (h *HAL) AFUPresent() bool {

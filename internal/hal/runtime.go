@@ -22,6 +22,7 @@ import (
 	"doppiodb/internal/flightrec"
 	"doppiodb/internal/memmodel"
 	"doppiodb/internal/sim"
+	"doppiodb/internal/topdown"
 )
 
 // DefaultAdmissionCap bounds the jobs one engine carries in a single
@@ -53,6 +54,11 @@ type Completion struct {
 	Switches int64
 	// LinkBusy is the link service time of this job's grants.
 	LinkBusy sim.Time
+	// Buckets classifies the job's engine cycles (busy / stall-input /
+	// stall-switch / stall-output / config); Wall is their sum — jobs do
+	// not own their engine's idle tail. The per-query analyzer folds
+	// these into the bottleneck verdict.
+	Buckets topdown.Buckets
 }
 
 // QueueWait is the time the job's group spent in the backlog.
@@ -392,6 +398,15 @@ func (h *HAL) runRound(epoch sim.Time, params memmodel.Params, queues [][]memmod
 		for k, j := range jobs[e] {
 			j.completed = res.Done[e][k] + ParametrizeTime + j.penalty
 			a := att.per[e][k]
+			pj := res.PerJob[e][k]
+			buckets := topdown.Buckets{
+				Busy:        pj.Busy,
+				StallInput:  pj.StallInput,
+				StallSwitch: pj.StallSwitch,
+				StallOutput: pj.StallOutput,
+				Config:      ParametrizeTime,
+			}
+			buckets.Wall = buckets.Sum()
 			j.comp = Completion{
 				Enqueued: j.group.enqueued,
 				Admitted: epoch,
@@ -400,6 +415,7 @@ func (h *HAL) runRound(epoch sim.Time, params memmodel.Params, queues [][]memmod
 				Grants:   a.grants,
 				Switches: a.switches,
 				LinkBusy: a.busy,
+				Buckets:  buckets,
 			}
 			j.finished = true
 			h.queueWait.Observe(int64(j.comp.QueueWait() / sim.Nanosecond))
@@ -416,6 +432,59 @@ func (h *HAL) runRound(epoch sim.Time, params memmodel.Params, queues [][]memmod
 			completed = append(completed, j)
 		}
 	}
+	// Fold the round's cycle ledgers into the fabric's cumulative topdown
+	// accounting. The per-job parametrization load is the engine's config
+	// bucket; it extends the engine's wall beyond the shared simulation
+	// span, so conservation stays exact per engine by construction.
+	var roundTotal topdown.Buckets
+	for e, led := range res.Engines {
+		cfg := sim.Time(len(jobs[e])) * ParametrizeTime
+		b := topdown.Buckets{
+			Busy:        led.Busy,
+			StallInput:  led.StallInput,
+			StallSwitch: led.StallSwitch,
+			StallOutput: led.StallOutput,
+			Config:      cfg,
+			Idle:        led.Idle,
+			Wall:        led.Wall + cfg,
+		}
+		h.tdEngines[e].Add(b)
+		roundTotal.Add(b)
+		if h.rec != nil && b.Wall > 0 {
+			h.rec.Record(flightrec.Event{
+				Type: flightrec.EvUtilSample, Sim: epoch, Dur: b.Wall,
+				Engine: e, Unit: -1,
+				Vals: []int64{
+					int64(b.Busy * 10000 / b.Wall),
+					int64(b.StallInput * 10000 / b.Wall),
+					int64(b.StallSwitch * 10000 / b.Wall),
+					int64(b.StallOutput * 10000 / b.Wall),
+					int64(b.Config * 10000 / b.Wall),
+					int64(b.Idle * 10000 / b.Wall),
+				},
+			})
+		}
+	}
+	link := topdown.LinkBuckets{
+		Busy:        res.Link.Busy,
+		Arbitration: res.Link.Arbitration,
+		Idle:        res.Link.Idle,
+		Wall:        res.Link.Wall,
+	}
+	h.tdLink.Add(link)
+	h.tdRounds++
+	if h.rec != nil && link.Wall > 0 {
+		h.rec.Record(flightrec.Event{
+			Type: flightrec.EvUtilSample, Sim: epoch, Dur: link.Wall,
+			Engine: -1, Unit: -1,
+			Vals: []int64{
+				int64(link.Busy * 10000 / link.Wall),
+				int64(link.Arbitration * 10000 / link.Wall),
+				int64(link.Idle * 10000 / link.Wall),
+			},
+		})
+	}
+
 	if res.Finish > 0 {
 		// Advance the continuous timeline so the next round renders after
 		// this one (the gap marks the round boundary in the trace).
@@ -427,7 +496,27 @@ func (h *HAL) runRound(epoch sim.Time, params memmodel.Params, queues [][]memmod
 	h.tel.Counter("qpi.busy_ns").Add(int64(res.BusyTime / sim.Nanosecond))
 	h.tel.Counter("qpi.grants").Add(res.Grants)
 	h.tel.Counter("qpi.switch_events").Add(res.Switches)
-	h.tel.Gauge("qpi.utilization_pct").Set(int64(res.Utilization() * 100))
+	// Basis points, not truncated integer percent: a lone engine's ~90.6%
+	// link utilization must survive as 9063, and a near-idle round must
+	// not read as zero. Exporters render the derived percent view.
+	h.tel.Gauge("qpi.utilization_bp").Set(int64(res.Utilization() * 10000))
+	// Topdown counters, picosecond resolution so the cross-round
+	// conservation check stays exact after the counter round-trip.
+	h.tel.Counter("topdown.busy_ps").Add(int64(roundTotal.Busy))
+	h.tel.Counter("topdown.stall_input_ps").Add(int64(roundTotal.StallInput))
+	h.tel.Counter("topdown.stall_switch_ps").Add(int64(roundTotal.StallSwitch))
+	h.tel.Counter("topdown.stall_output_ps").Add(int64(roundTotal.StallOutput))
+	h.tel.Counter("topdown.config_ps").Add(int64(roundTotal.Config))
+	h.tel.Counter("topdown.idle_ps").Add(int64(roundTotal.Idle))
+	h.tel.Counter("topdown.wall_ps").Add(int64(roundTotal.Wall))
+	h.tel.Counter("topdown.link.busy_ps").Add(int64(link.Busy))
+	h.tel.Counter("topdown.link.arbitration_ps").Add(int64(link.Arbitration))
+	h.tel.Counter("topdown.link.idle_ps").Add(int64(link.Idle))
+	h.tel.Counter("topdown.link.wall_ps").Add(int64(link.Wall))
+	h.tel.Counter("topdown.rounds").Inc()
+	if link.Wall > 0 {
+		h.tel.Gauge("topdown.link.utilization_bp").Set(int64(link.Busy * 10000 / link.Wall))
+	}
 	if res.Grants > 0 && h.params.LineBytes > 0 {
 		// Batch efficiency: lines actually moved per grant vs. the
 		// arbiter's full batch of GrantLines.

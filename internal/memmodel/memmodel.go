@@ -106,15 +106,19 @@ type phase struct {
 	lines int64
 }
 
-// engineState walks an engine through its job queue.
+// engineState walks an engine through its job queue. readyAt doubles as
+// the engine's accounting cursor: every advance of it is classified into
+// exactly one EngineLedger bucket, so the ledger telescopes to the wall.
 type engineState struct {
-	jobs    []Job
-	jobIdx  int
-	phases  []phase
-	phIdx   int
-	readyAt sim.Time
-	done    []sim.Time
-	started bool // current job reported to the observer
+	jobs      []Job
+	jobIdx    int
+	phases    []phase
+	phIdx     int
+	readyAt   sim.Time
+	done      []sim.Time
+	started   bool  // current job reported to the observer
+	linesLeft int64 // remaining lines of the current job (incl. result lines)
+	resLines  int64 // result write-back lines of the current job
 }
 
 // buildPhases expands a job into its offset/heap burst sequence. Each
@@ -153,6 +157,69 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// EngineLedger classifies every picosecond of one engine's simulated span
+// into exactly one bucket. The buckets telescope out of the engine's
+// ready-time cursor as Simulate advances it, so the conservation invariant
+//
+//	Busy + StallInput + StallSwitch + StallOutput + Idle == Wall
+//
+// holds exactly (no epsilon) by construction.
+type EngineLedger struct {
+	// Busy is time spent draining granted input lines (PU compute).
+	Busy sim.Time
+	// StallInput is time the engine sat ready while the arbiter serviced
+	// other engines (waiting on QPI grants).
+	StallInput sim.Time
+	// StallSwitch is the offset↔heap turnaround stalls (SwitchLatency).
+	StallSwitch sim.Time
+	// StallOutput is time draining result write-back lines through the
+	// link (the Output Collector's share of the final burst, §5.1).
+	StallOutput sim.Time
+	// Idle is time after the engine's last job (or the whole span for an
+	// engine with no jobs).
+	Idle sim.Time
+	// Wall is the common span all buckets sum to: the later of the link's
+	// finish time and the slowest engine's drain.
+	Wall sim.Time
+}
+
+// Sum returns the bucket total; Conserved checks it equals Wall exactly.
+func (l EngineLedger) Sum() sim.Time {
+	return l.Busy + l.StallInput + l.StallSwitch + l.StallOutput + l.Idle
+}
+
+// Conserved reports whether the ledger's buckets sum exactly to its wall.
+func (l EngineLedger) Conserved() bool { return l.Sum() == l.Wall }
+
+// LinkLedger is the QPI link's parallel accounting: transferring (Busy),
+// waiting for any engine to turn around while work is pending
+// (Arbitration), or past the last service (Idle). Busy + Arbitration +
+// Idle == Wall exactly.
+type LinkLedger struct {
+	Busy        sim.Time
+	Arbitration sim.Time
+	Idle        sim.Time
+	Wall        sim.Time
+}
+
+// Sum returns the bucket total; Conserved checks it equals Wall exactly.
+func (l LinkLedger) Sum() sim.Time { return l.Busy + l.Arbitration + l.Idle }
+
+// Conserved reports whether the ledger's buckets sum exactly to its wall.
+func (l LinkLedger) Conserved() bool { return l.Sum() == l.Wall }
+
+// JobBuckets is one job's share of its engine's ledger (no idle: jobs do
+// not own the post-completion tail). Summed over an engine's jobs the
+// fields equal the engine ledger's corresponding buckets exactly.
+type JobBuckets struct {
+	Busy        sim.Time
+	StallInput  sim.Time
+	StallSwitch sim.Time
+	StallOutput sim.Time
+	// Bytes is the QPI traffic granted to this job (line-rounded).
+	Bytes int64
+}
+
 // Result of a simulation.
 type Result struct {
 	// Done[e][k] is the completion time of engine e's k-th job.
@@ -169,6 +236,14 @@ type Result struct {
 	// Switches counts offset↔heap phase turns that charged SwitchLatency
 	// — the stall events a lone engine cannot hide (§7.3).
 	Switches int64
+	// Engines[e] is engine e's cycle-conservation ledger over the span.
+	Engines []EngineLedger
+	// PerJob[e][k] classifies engine e's k-th job's cycles. Boundary
+	// activity (the inter-job switch) is charged to the entering job,
+	// matching the HAL's per-job attribution.
+	PerJob [][]JobBuckets
+	// Link is the QPI link's busy/arbitration/idle ledger.
+	Link LinkLedger
 }
 
 // Utilization returns the QPI link utilization over the simulated span.
@@ -193,9 +268,16 @@ func Simulate(p Params, queues [][]Job) Result {
 	qpiLine := p.lineTime(p.QPIBandwidth)
 	engLine := p.lineTime(p.EngineBandwidth)
 
-	var now, busy sim.Time
+	var now, busy, arb sim.Time
 	var moved int64
-	res := Result{Done: make([][]sim.Time, len(queues))}
+	res := Result{
+		Done:    make([][]sim.Time, len(queues)),
+		Engines: make([]EngineLedger, len(queues)),
+		PerJob:  make([][]JobBuckets, len(queues)),
+	}
+	for i, q := range queues {
+		res.PerJob[i] = make([]JobBuckets, len(q))
+	}
 	rr := 0 // round-robin arbiter pointer
 	for {
 		// Find the next engine (round-robin from rr) that has pending
@@ -224,7 +306,9 @@ func Simulate(p Params, queues [][]Job) Result {
 			break
 		}
 		if pick == nil {
-			// Link idles until an engine is ready.
+			// Work is pending but every engine is mid-drain or mid-turn:
+			// the link waits on arbitration, not true idleness.
+			arb += soonest - now
 			now = soonest
 			continue
 		}
@@ -243,6 +327,31 @@ func Simulate(p Params, queues [][]Job) Result {
 			if p.Trace != nil {
 				p.Trace.Grant(pickIdx, g, now, now+service)
 			}
+			led := &res.Engines[pickIdx]
+			jb := res.jobAcct(pickIdx, pick.jobIdx)
+			// Time the engine sat ready before this grant was its turn.
+			if gap := now - pick.readyAt; gap > 0 {
+				led.StallInput += gap
+				if jb != nil {
+					jb.StallInput += gap
+				}
+			}
+			// The job's trailing result lines are write-back drain
+			// (stall-output), everything before them is PU compute.
+			pick.linesLeft -= g
+			var outLines int64
+			if pick.linesLeft < pick.resLines {
+				outLines = min64(g, pick.resLines-pick.linesLeft)
+			}
+			busyT := engLine * sim.Time(g-outLines)
+			outT := engLine * sim.Time(outLines)
+			led.Busy += busyT
+			led.StallOutput += outT
+			if jb != nil {
+				jb.Busy += busyT
+				jb.StallOutput += outT
+				jb.Bytes += g * int64(p.LineBytes)
+			}
 			now += service
 			busy += service
 			moved += g * int64(p.LineBytes)
@@ -260,16 +369,47 @@ func Simulate(p Params, queues [][]Job) Result {
 	res.Finish = now
 	res.BytesMoved = moved
 	res.BusyTime = busy
+	// The wall every ledger sums to: the last engine may still be
+	// draining its final grant past the link's last service.
+	wall := now
+	for _, es := range engines {
+		if es.readyAt > wall {
+			wall = es.readyAt
+		}
+	}
 	for i, es := range engines {
 		res.Done[i] = es.done
+		led := &res.Engines[i]
+		led.Idle = wall - es.readyAt
+		led.Wall = wall
 	}
+	res.Link = LinkLedger{Busy: busy, Arbitration: arb, Idle: wall - now, Wall: wall}
 	return res
+}
+
+// jobAcct returns the accounting bucket of engine e's jobIdx-th job,
+// clamped to the last job so boundary events past the queue still land
+// somewhere (mirroring the HAL attribution's clamp).
+func (r *Result) jobAcct(e, jobIdx int) *JobBuckets {
+	pj := r.PerJob[e]
+	if len(pj) == 0 {
+		return nil
+	}
+	if jobIdx >= len(pj) {
+		jobIdx = len(pj) - 1
+	}
+	return &pj[jobIdx]
 }
 
 func (es *engineState) loadJob(p Params) {
 	if es.jobIdx < len(es.jobs) {
 		es.phases = p.buildPhases(es.jobs[es.jobIdx])
 		es.phIdx = 0
+		es.linesLeft = 0
+		for _, ph := range es.phases {
+			es.linesLeft += ph.lines
+		}
+		es.resLines = p.lines(es.jobs[es.jobIdx].ResultBytes)
 	}
 }
 
@@ -278,11 +418,7 @@ func (es *engineState) loadJob(p Params) {
 func (es *engineState) advancePhase(p Params, e int, now sim.Time, res *Result) {
 	es.phIdx++
 	if es.phIdx < len(es.phases) {
-		if es.readyAt < now {
-			es.readyAt = now
-		}
-		es.readyAt += p.SwitchLatency
-		res.Switches++
+		es.chargeSwitch(p, e, now, res)
 		if p.Trace != nil {
 			p.Trace.PhaseSwitch(e, now)
 		}
@@ -296,15 +432,33 @@ func (es *engineState) advancePhase(p Params, e int, now sim.Time, res *Result) 
 	es.loadJob(p)
 	es.started = false
 	if es.jobIdx < len(es.jobs) {
-		if es.readyAt < now {
-			es.readyAt = now
-		}
-		es.readyAt += p.SwitchLatency
-		res.Switches++
+		es.chargeSwitch(p, e, now, res)
 		if p.Trace != nil {
 			p.Trace.PhaseSwitch(e, now)
 		}
 	}
+}
+
+// chargeSwitch advances the engine cursor across one SwitchLatency stall,
+// classifying any ready-but-unserved gap before it as stall-input. The
+// charge lands on the engine's current job — for the inter-job turn that
+// is the entering job, matching the HAL's per-job attribution.
+func (es *engineState) chargeSwitch(p Params, e int, now sim.Time, res *Result) {
+	led := &res.Engines[e]
+	jb := res.jobAcct(e, es.jobIdx)
+	if gap := now - es.readyAt; gap > 0 {
+		led.StallInput += gap
+		if jb != nil {
+			jb.StallInput += gap
+		}
+		es.readyAt = now
+	}
+	led.StallSwitch += p.SwitchLatency
+	if jb != nil {
+		jb.StallSwitch += p.SwitchLatency
+	}
+	es.readyAt += p.SwitchLatency
+	res.Switches++
 }
 
 // JobForStrings builds a Job for n strings of the given payload length

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"doppiodb/internal/telemetry"
+	"doppiodb/internal/topdown"
 )
 
 // Outcome classifies how a query ended. Exactly one outcome per query.
@@ -95,6 +96,9 @@ type Event struct {
 	QueueNS int64            `json:"queue_wait_ns,omitempty"`
 	TotalNS int64            `json:"total_ns"`
 	Phases  map[string]int64 `json:"phases,omitempty"`
+	// Topdown is the query's bottleneck attribution (verdict plus the
+	// cycle buckets behind it), when the core layer produced one.
+	Topdown *topdown.Attribution `json:"topdown,omitempty"`
 	// Sampled marks a fast happy-path event kept by the one-in-N sampler
 	// (notable events are always kept and leave this false).
 	Sampled bool `json:"sampled,omitempty"`

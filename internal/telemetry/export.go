@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Snapshot is a point-in-time copy of every metric in a registry —
@@ -103,6 +104,9 @@ func (r *Registry) WriteText(w io.Writer) {
 	}
 	for _, k := range sortedKeys(snap.Gauges) {
 		fmt.Fprintf(w, "%s %d\n", k, snap.Gauges[k])
+		if base, bp, ok := basisPointGauge(snap, k); ok {
+			fmt.Fprintf(w, "%s_pct %d.%02d\n", base, bp/100, bp%100)
+		}
 	}
 	for _, k := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[k]
@@ -115,6 +119,27 @@ func (r *Registry) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%s.count %d\n", k, h.Count)
 		fmt.Fprintf(w, "%s.sum %d\n", k, h.Sum)
 	}
+}
+
+// basisPointGauge recognizes gauges that store basis points (name suffix
+// "_bp"): they keep sub-percent precision in storage — a single engine's
+// ~90.63% QPI utilization must not truncate to 90, let alone a
+// low-utilization run to 0 — and the exporters render the derived percent
+// view (two decimals, exact integer math) next to the raw value. A
+// same-base "_pct" gauge, if something still sets one, wins.
+func basisPointGauge(snap Snapshot, name string) (base string, bp int64, ok bool) {
+	base, found := strings.CutSuffix(name, "_bp")
+	if !found {
+		return "", 0, false
+	}
+	bp = snap.Gauges[name]
+	if bp < 0 {
+		return "", 0, false
+	}
+	if _, exists := snap.Gauges[base+"_pct"]; exists {
+		return "", 0, false
+	}
+	return base, bp, true
 }
 
 // promName sanitizes a metric name for the Prometheus exposition format:
@@ -149,6 +174,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, k := range sortedKeys(snap.Gauges) {
 		n := promName(k)
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[k])
+		if base, bp, ok := basisPointGauge(snap, k); ok {
+			pn := promName(base + "_pct")
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d.%02d\n", pn, pn, bp/100, bp%100)
+		}
 	}
 	for _, k := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[k]

@@ -1,0 +1,145 @@
+package topdown
+
+import (
+	"fmt"
+
+	"doppiodb/internal/sim"
+)
+
+// Verdict names the dominant reason a query spent its time.
+type Verdict string
+
+// The five verdicts of the per-query bottleneck analyzer.
+const (
+	// MemoryBound: the engines spent more cycles waiting on the QPI link
+	// (grants, phase turnarounds, result drain) than computing, or the
+	// link itself was saturated — adding engines will not help (§7.3).
+	MemoryBound Verdict = "memory-bound"
+	// ComputeBound: the engines' PU compute dominated and the link had
+	// headroom — another engine would raise throughput.
+	ComputeBound Verdict = "compute-bound"
+	// ConfigBound: reconfiguration (config generation + per-job engine
+	// parametrization) dominated the query.
+	ConfigBound Verdict = "config-bound"
+	// QueueBound: the query mostly waited for fabric admission.
+	QueueBound Verdict = "queue-bound"
+	// SoftwareBound: the CPU-side work (scan, UDF, software regex or a
+	// degraded fallback) dominated.
+	SoftwareBound Verdict = "software-bound"
+)
+
+// LinkSaturationPct is the QPI busy share above which the fabric counts
+// as saturated regardless of the busy/stall split: a lone engine tops out
+// near 90% link busy (5.89 of 6.5 GB/s), two or more pin it at ~99%.
+const LinkSaturationPct = 97.0
+
+// QueryCycles are the analyzer's inputs: the query's phase breakdown plus
+// the engine-cycle buckets summed over its hardware jobs.
+type QueryCycles struct {
+	// Placement is the executed plan: "fpga", "hybrid" or "software".
+	Placement string
+	// Degraded marks a hardware query that fell back to software.
+	Degraded bool
+	// Software is the CPU-side time: scan setup, UDF, software regex
+	// (hybrid post-pass or full fallback) and retry backoff.
+	Software sim.Time
+	// ConfigGen is the regex→config-vector generation time. Zero when the
+	// compiled-config cache hit — the golden "cached rerun" signature.
+	ConfigGen sim.Time
+	// Queue is the fabric admission wait.
+	Queue sim.Time
+	// Hardware is the admission→completion window of the slowest job.
+	Hardware sim.Time
+	// Total is the query's end-to-end simulated time.
+	Total sim.Time
+	// LinkBusy is the link service time attributable to this query's jobs.
+	LinkBusy sim.Time
+	// Buckets is the engine-cycle classification summed over the query's
+	// jobs (per-job Completion buckets).
+	Buckets Buckets
+}
+
+// Attribution is the analyzer's verdict record, stamped onto the EXPLAIN
+// ANALYZE record and the wide-event query log. Deterministic: every field
+// derives from simulated time via integer math.
+type Attribution struct {
+	Verdict Verdict `json:"verdict"`
+	// DominantPct is the dominant bucket's share in percent: of engine
+	// cycles for memory/compute verdicts, of query time otherwise.
+	DominantPct float64 `json:"dominant_pct"`
+	// LinkBusyPct is the QPI link's busy share of the query's hardware
+	// window.
+	LinkBusyPct float64  `json:"link_busy_pct"`
+	Software    sim.Time `json:"software_ps"`
+	ConfigGen   sim.Time `json:"config_gen_ps"`
+	Queue       sim.Time `json:"queue_ps"`
+	Hardware    sim.Time `json:"hardware_ps"`
+	Total       sim.Time `json:"total_ps"`
+	Buckets     Buckets  `json:"buckets"`
+}
+
+// Analyze folds a query's cycle accounting into a bottleneck verdict.
+func Analyze(q QueryCycles) *Attribution {
+	a := &Attribution{
+		Software:  q.Software,
+		ConfigGen: q.ConfigGen,
+		Queue:     q.Queue,
+		Hardware:  q.Hardware,
+		Total:     q.Total,
+		Buckets:   q.Buckets,
+	}
+	if q.Hardware > 0 {
+		a.LinkBusyPct = Pct(q.LinkBusy, q.Hardware)
+	}
+	if q.Placement == "software" || q.Degraded || q.Hardware == 0 {
+		a.Verdict = SoftwareBound
+		a.DominantPct = Pct(q.Software, q.Total)
+		return a
+	}
+	// Reconfiguration cost is generation (software) plus the per-job
+	// engine parametrization the hardware charged.
+	config := q.ConfigGen + q.Buckets.Config
+	// The dominant component of the query total decides the verdict
+	// family; ties go to hardware so the cycle buckets break them.
+	switch {
+	case q.Queue > q.Hardware && q.Queue >= q.Software && q.Queue >= config:
+		a.Verdict = QueueBound
+		a.DominantPct = Pct(q.Queue, q.Total)
+	case q.Software > q.Hardware && q.Software >= config:
+		a.Verdict = SoftwareBound
+		a.DominantPct = Pct(q.Software, q.Total)
+	case config > q.Hardware:
+		a.Verdict = ConfigBound
+		a.DominantPct = Pct(config, q.Total)
+	default:
+		active := q.Buckets.Active()
+		stalled := q.Buckets.Stalled()
+		if stalled > q.Buckets.Busy || a.LinkBusyPct >= LinkSaturationPct {
+			a.Verdict = MemoryBound
+			a.DominantPct = Pct(stalled, active)
+		} else {
+			a.Verdict = ComputeBound
+			a.DominantPct = Pct(q.Buckets.Busy, active)
+		}
+	}
+	return a
+}
+
+// Line renders the attribution as a single human-readable line (the form
+// EXPLAIN ANALYZE and the CLIs print).
+func (a *Attribution) Line() string {
+	switch a.Verdict {
+	case MemoryBound:
+		return fmt.Sprintf("bottleneck: memory-bound (stalled %.2f%% of engine cycles; qpi %.2f%% busy)",
+			a.DominantPct, a.LinkBusyPct)
+	case ComputeBound:
+		return fmt.Sprintf("bottleneck: compute-bound (busy %.2f%% of engine cycles; qpi %.2f%% busy)",
+			a.DominantPct, a.LinkBusyPct)
+	case ConfigBound:
+		return fmt.Sprintf("bottleneck: config-bound (reconfiguration %.2f%% of query time)", a.DominantPct)
+	case QueueBound:
+		return fmt.Sprintf("bottleneck: queue-bound (admission wait %.2f%% of query time)", a.DominantPct)
+	default:
+		return fmt.Sprintf("bottleneck: software-bound (cpu path %.2f%% of query time)", a.DominantPct)
+	}
+}
